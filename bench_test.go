@@ -1,0 +1,212 @@
+package rsu
+
+import (
+	"testing"
+
+	"rsu/internal/apps/stereo"
+	"rsu/internal/core"
+	"rsu/internal/experiments"
+	"rsu/internal/mrf"
+	"rsu/internal/perf"
+	"rsu/internal/phase"
+	"rsu/internal/ret"
+	"rsu/internal/rng"
+	"rsu/internal/rsim"
+	"rsu/internal/synth"
+)
+
+// The experiment benchmarks run each paper table/figure driver end to end
+// on reduced annealing schedules (IterScale) so the whole suite finishes in
+// minutes; cmd/rsu-bench regenerates the full-fidelity numbers.
+
+func benchOpts(iterScale float64) experiments.Options {
+	return experiments.Options{Seed: 1, Scale: 1, IterScale: iterScale}
+}
+
+func runExperiment(b *testing.B, id string, iterScale float64) {
+	b.Helper()
+	r, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(benchOpts(iterScale)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B)       { runExperiment(b, "fig3", 0.1) }
+func BenchmarkFig4(b *testing.B)       { runExperiment(b, "fig4", 0.1) }
+func BenchmarkEnergyBits(b *testing.B) { runExperiment(b, "energybits", 0.05) }
+func BenchmarkFig5a(b *testing.B)      { runExperiment(b, "fig5a", 0.05) }
+func BenchmarkFig5b(b *testing.B)      { runExperiment(b, "fig5b", 0.1) }
+func BenchmarkFig6(b *testing.B)       { runExperiment(b, "fig6", 0.1) }
+func BenchmarkFig7(b *testing.B)       { runExperiment(b, "fig7", 0.05) }
+func BenchmarkFig8(b *testing.B)       { runExperiment(b, "fig8", 0.05) }
+func BenchmarkFig9a(b *testing.B)      { runExperiment(b, "fig9a", 0.1) }
+func BenchmarkFig9b(b *testing.B)      { runExperiment(b, "fig9b", 0.1) }
+func BenchmarkFig9c(b *testing.B)      { runExperiment(b, "fig9c", 0.1) }
+func BenchmarkFig9d(b *testing.B)      { runExperiment(b, "fig9d", 0.2) }
+func BenchmarkTable1(b *testing.B)     { runExperiment(b, "table1", 0.2) }
+func BenchmarkTable2(b *testing.B)     { runExperiment(b, "table2", 1) }
+func BenchmarkTable3(b *testing.B)     { runExperiment(b, "table3", 1) }
+func BenchmarkTable4(b *testing.B)     { runExperiment(b, "table4", 0.1) }
+
+func BenchmarkAccelerator(b *testing.B) { runExperiment(b, "accelerator", 0.1) }
+
+func BenchmarkAblateTieBreak(b *testing.B)  { runExperiment(b, "ablate-tiebreak", 0.05) }
+func BenchmarkAblateConverter(b *testing.B) { runExperiment(b, "ablate-converter", 0.1) }
+func BenchmarkAblatePipeline(b *testing.B)  { runExperiment(b, "ablate-pipeline", 1) }
+func BenchmarkAblateDevice(b *testing.B)    { runExperiment(b, "ablate-device", 0.05) }
+
+func BenchmarkExtBarker(b *testing.B)    { runExperiment(b, "ext-barker", 0.02) }
+func BenchmarkExtPhaseType(b *testing.B) { runExperiment(b, "ext-phasetype", 0.1) }
+func BenchmarkExtPyramid(b *testing.B)   { runExperiment(b, "ext-pyramid", 0.1) }
+func BenchmarkExtBleaching(b *testing.B) { runExperiment(b, "ext-bleaching", 0.3) }
+
+// --- microbenchmarks of the sampler hot paths ---
+
+func benchUnitSample(b *testing.B, cfg core.Config, labels int) {
+	b.Helper()
+	u := core.MustUnit(cfg, rng.NewXoshiro256(1), true)
+	u.SetTemperature(20)
+	energies := make([]float64, labels)
+	for i := range energies {
+		energies[i] = float64(i * 200 / labels)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Sample(energies, 0)
+	}
+}
+
+func BenchmarkUnitSampleNew8(b *testing.B)   { benchUnitSample(b, core.NewRSUG(), 8) }
+func BenchmarkUnitSampleNew56(b *testing.B)  { benchUnitSample(b, core.NewRSUG(), 56) }
+func BenchmarkUnitSamplePrev56(b *testing.B) { benchUnitSample(b, core.PrevRSUG(), 56) }
+
+func BenchmarkSoftwareSample56(b *testing.B) {
+	s := core.NewSoftwareSampler(rng.NewXoshiro256(1))
+	s.SetTemperature(20)
+	energies := make([]float64, 56)
+	for i := range energies {
+		energies[i] = float64(i * 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(energies, 0)
+	}
+}
+
+func BenchmarkMachineSample8(b *testing.B) {
+	m, err := rsim.NewMachine(core.NewRSUG(), ret.SPAD{}, rng.NewXoshiro256(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.SetTemperature(20)
+	energies := []float64{0, 25, 50, 75, 100, 125, 150, 175}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Sample(energies, 0)
+	}
+}
+
+func BenchmarkBarkerSample56(b *testing.B) {
+	s, err := core.NewBarkerSampler(core.NewRSUG(), rng.NewXoshiro256(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SetTemperature(20)
+	energies := make([]float64, 56)
+	for i := range energies {
+		energies[i] = float64(i * 4)
+	}
+	state := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		state = s.Sample(energies, state)
+	}
+}
+
+func BenchmarkPhaseCascade8(b *testing.B) {
+	codes := []int{4, 4, 4, 4, 4, 4, 4, 4}
+	s, err := phase.NewRETSampler(core.NewRSUG(), codes, rng.NewXoshiro256(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample()
+	}
+}
+
+func BenchmarkLUTRebuild(b *testing.B) {
+	cfg := core.NewRSUG()
+	for i := 0; i < b.N; i++ {
+		core.NewLUTConverter(cfg, 1+float64(i%50))
+	}
+}
+
+func BenchmarkBoundaryRebuild(b *testing.B) {
+	cfg := core.NewRSUG()
+	for i := 0; i < b.N; i++ {
+		core.NewBoundaryConverter(cfg, 1+float64(i%50))
+	}
+}
+
+func BenchmarkGibbsSweepStereo(b *testing.B) {
+	pair := synth.Poster(1)
+	p := stereo.DefaultParams()
+	p.Schedule = mrf.Schedule{T0: 32, Alpha: 0.99, Iterations: 1}
+	u := core.MustUnit(core.NewRSUG(), rng.NewXoshiro256(1), true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stereo.Solve(pair, u, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerfModel(b *testing.B) {
+	m := perf.DefaultModel()
+	for i := 0; i < b.N; i++ {
+		m.TableII()
+	}
+}
+
+func BenchmarkXoshiro(b *testing.B) {
+	src := rng.NewXoshiro256(1)
+	for i := 0; i < b.N; i++ {
+		src.Uint64()
+	}
+}
+
+func BenchmarkMT19937(b *testing.B) {
+	src := rng.NewMT19937(1)
+	for i := 0; i < b.N; i++ {
+		src.Uint32()
+	}
+}
+
+func BenchmarkLFSR19Bit(b *testing.B) {
+	src := rng.NewLFSR19(1)
+	for i := 0; i < b.N; i++ {
+		src.NextBit()
+	}
+}
+
+func BenchmarkExponentialDraw(b *testing.B) {
+	src := rng.NewXoshiro256(1)
+	for i := 0; i < b.N; i++ {
+		rng.Exponential(src, 4)
+	}
+}
+
+func BenchmarkExtForster(b *testing.B) { runExperiment(b, "ext-forster", 0.2) }
+func BenchmarkExtMixing(b *testing.B)  { runExperiment(b, "ext-mixing", 0.2) }
+
+func BenchmarkExtPareto(b *testing.B) { runExperiment(b, "ext-pareto", 0.05) }
+
+func BenchmarkExtRNGBattery(b *testing.B) { runExperiment(b, "ext-rng", 0.25) }
+
+func BenchmarkExtIsing(b *testing.B) { runExperiment(b, "ext-ising", 0.15) }

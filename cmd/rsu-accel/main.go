@@ -1,0 +1,75 @@
+// Command rsu-accel explores the discrete RSU-G accelerator design space:
+// speedup over the GPU baseline as a function of unit count and memory
+// bandwidth, for the paper's two accelerator workloads.
+//
+// Usage:
+//
+//	rsu-accel                      # paper configuration (336 units, 336 GB/s)
+//	rsu-accel -units 672 -bw 672   # scaled machine
+//	rsu-accel -sweep               # unit-count scaling table with cycle-sim check
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rsu/internal/accel"
+	"rsu/internal/rsim"
+	"rsu/internal/viz"
+)
+
+func main() {
+	var (
+		units = flag.Int("units", 336, "RSU-G units in the accelerator")
+		bw    = flag.Float64("bw", 336, "memory bandwidth in GB/s")
+		sweep = flag.Bool("sweep", false, "print a unit-count scaling sweep")
+	)
+	flag.Parse()
+
+	m := accel.DefaultMachine()
+	m.Units = *units
+	m.MemBWBytesPerSec = *bw * 1e9
+
+	apps := []accel.AppProfile{accel.Segmentation5(), accel.Motion49()}
+	fmt.Printf("machine: %d units @ %.0f GHz, %.0f GB/s\n\n", m.Units, m.ClockHz/1e9, m.MemBWBytesPerSec/1e9)
+	fmt.Printf("%-14s %10s %12s %14s %12s\n", "application", "labels", "aug speedup", "disc speedup", "BW wall")
+	for _, p := range apps {
+		fmt.Printf("%-14s %10d %11.1fx %13.1fx %9d units\n",
+			p.Name, p.Labels, m.AugSpeedup(p), m.DiscreteSpeedup(p), m.SaturationUnits(p))
+	}
+
+	fmt.Println("\ncycle-level cross-check (simulated vs analytic cycles/pixel):")
+	for _, p := range apps {
+		cfg := rsim.AccelConfig{
+			Units:             m.Units,
+			Labels:            p.Labels,
+			BytesPerPixel:     p.BytesPerPixel,
+			PortBytesPerCycle: m.MemBWBytesPerSec / m.ClockHz,
+		}
+		st, err := rsim.SimulateAccelSweep(cfg, 100000)
+		if err != nil {
+			fmt.Println("  error:", err)
+			continue
+		}
+		fmt.Printf("  %-14s sim %.4f vs analytic %.4f (mem waits %d, unit waits %d)\n",
+			p.Name, st.CyclesPerPixel, cfg.AnalyticCyclesPerPixel(), st.MemWaits, st.UnitWaits)
+	}
+
+	if *sweep {
+		counts := []int{16, 32, 64, 128, 168, 256, 336, 512, 672, 1024}
+		for _, p := range apps {
+			fmt.Printf("\nscaling sweep — %s:\n", p.Name)
+			labels := make([]string, len(counts))
+			vals := make([]float64, len(counts))
+			for i, pt := range m.ScalingSweep(p, counts) {
+				tag := ""
+				if pt.MemoryBound {
+					tag = " (mem bound)"
+				}
+				labels[i] = fmt.Sprintf("%d units%s", pt.Units, tag)
+				vals[i] = pt.Speedup
+			}
+			fmt.Print(viz.Bars(labels, vals, 40))
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command rsu-bench regenerates the paper's tables and figures. Each
+// experiment prints the same rows or series the paper reports; figure
+// experiments additionally write PGM images when -out is set.
+//
+// Usage:
+//
+//	rsu-bench -list
+//	rsu-bench -run fig5a
+//	rsu-bench -run all -out results/ | tee results/report.txt
+//	rsu-bench -run fig8 -iterscale 0.25   # quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rsu/internal/experiments"
+)
+
+func main() {
+	var (
+		run       = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		seed      = flag.Uint64("seed", 1, "master random seed")
+		scale     = flag.Int("scale", 1, "synthetic dataset scale factor")
+		iterScale = flag.Float64("iterscale", 1, "multiplier on annealing iterations (use <1 for a quick pass)")
+		out       = flag.String("out", "", "directory for PGM outputs of figure experiments")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, r := range experiments.Registry() {
+			fmt.Printf("  %-16s %s\n", r.ID, r.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nselect with -run <id>[,<id>...] or -run all")
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		Seed:      *seed,
+		Scale:     *scale,
+		IterScale: *iterScale,
+		OutDir:    *out,
+	}
+
+	var ids []string
+	if *run == "all" {
+		for _, r := range experiments.Registry() {
+			ids = append(ids, r.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	failed := false
+	for _, id := range ids {
+		r, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			failed = true
+			continue
+		}
+		fmt.Printf("== %s: %s\n", r.ID, r.Title)
+		start := time.Now()
+		res, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Println(res.String())
+		fmt.Printf("-- %s done in %.1fs\n\n", r.ID, time.Since(start).Seconds())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,9 @@
+// Package rsu is a from-scratch Go reproduction of "Architecting a
+// Stochastic Computing Unit with Molecular Optical Devices" (ISCA 2018):
+// the RSU-G molecular-optical Gibbs sampling unit, its precision/quality
+// design-space study, and every substrate the evaluation depends on.
+//
+// The root package only anchors the repository-level benchmarks in
+// bench_test.go; the library lives under internal/ (see DESIGN.md for the
+// system inventory) and the runnable entry points under cmd/ and examples/.
+package rsu

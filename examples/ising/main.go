@@ -1,0 +1,58 @@
+// Ising example: a Boltzmann-machine-class workload (the paper's intro
+// motivation) on the RSU-G substrate. Sweeps temperature through the exact
+// critical point and prints magnetization bars for the software sampler,
+// the 4-bit new RSU-G, and a 7-bit-lambda variant — exposing where the
+// probability cut-off freezes the dynamics.
+//
+// Run with: go run ./examples/ising
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rsu/internal/apps/ising"
+	"rsu/internal/core"
+	"rsu/internal/rng"
+)
+
+func bar(m float64) string {
+	n := int(m * 30)
+	return strings.Repeat("#", n) + strings.Repeat(".", 30-n)
+}
+
+func main() {
+	log.SetFlags(0)
+	model := ising.Model{N: 24, J: 16}
+	cfg7 := core.NewRSUG()
+	cfg7.LambdaBits = 7
+	cfg7.Mode = core.ConvertScaledCutoff
+	cfg7.TimeBits = 0
+	cfg7.Truncation = 0
+
+	fmt.Printf("2-D Ising (%dx%d), exact Tc = %.3f J\n\n", model.N, model.N, ising.CriticalTemperature)
+	fmt.Printf("%-6s %-34s %-34s %s\n", "T", "software |m|", "RSU-G L4 |m|", "RSU-G L7 |m|")
+	for _, T := range []float64{1.6, 2.0, 2.4, 2.8, 3.2, 4.0, 4.8} {
+		sw, err := model.Run(core.NewSoftwareSampler(rng.NewXoshiro256(1)), T, 120, 100, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l4, err := model.Run(core.MustUnit(core.NewRSUG(), rng.NewXoshiro256(2), true), T, 120, 100, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l7, err := model.Run(core.MustUnit(cfg7, rng.NewXoshiro256(3), true), T, 120, 100, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mark := " "
+		if T > ising.CriticalTemperature && T-0.4 <= ising.CriticalTemperature {
+			mark = "*"
+		}
+		fmt.Printf("%-5.1f%s |%s| |%s| |%s|\n", T, mark,
+			bar(sw.Magnetization), bar(l4.Magnetization), bar(l7.Magnetization))
+	}
+	fmt.Println("\n* = first row above Tc. The L4 probability cut-off freezes the ordered")
+	fmt.Println("phase up to T ≈ 3.85 J; 7 lambda bits restore the true transition.")
+}

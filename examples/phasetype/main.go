@@ -1,0 +1,62 @@
+// Phase-type example: approximate a deterministic delay by cascading RSU-G
+// sampling windows (Erlang-k on the RET substrate) — the paper's final
+// future-work item. The coefficient of variation shrinks as 1/sqrt(k).
+//
+// Run with: go run ./examples/phasetype
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"rsu/internal/core"
+	"rsu/internal/phase"
+	"rsu/internal/rng"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := core.NewRSUG()
+	fmt.Println("Erlang-k cascades of code-4 RSU-G windows (time in bins):")
+	fmt.Printf("%-8s %12s %12s %10s %10s  %s\n", "stages", "ideal mean", "meas. mean", "ideal CV", "meas. CV", "histogram of samples")
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		codes := make([]int, k)
+		for i := range codes {
+			codes[i] = 4
+		}
+		s, err := phase.NewRETSampler(cfg, codes, rng.NewXoshiro256(uint64(k)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		im, iv := s.IdealMoments()
+		mm, mv := s.Measure(100000)
+
+		// Tiny inline histogram around the mean.
+		const bins = 24
+		hist := make([]int, bins)
+		maxT := im * 2.5
+		hi := 0
+		for i := 0; i < 20000; i++ {
+			v := s.Sample()
+			b := int(v / maxT * bins)
+			if b >= bins {
+				b = bins - 1
+			}
+			hist[b]++
+			if hist[b] > hi {
+				hi = hist[b]
+			}
+		}
+		ramp := " .:-=+*#"
+		var bar strings.Builder
+		for _, c := range hist {
+			bar.WriteByte(ramp[c*(len(ramp)-1)/hi])
+		}
+		fmt.Printf("%-8d %12.2f %12.2f %10.3f %10.3f  |%s|\n",
+			k, im, mm, math.Sqrt(iv)/im, math.Sqrt(mv)/mm, bar.String())
+	}
+	fmt.Println("\nthe distribution sharpens toward a deterministic delay as stages grow;")
+	fmt.Println("truncation pulls the measured mean slightly below the ideal cascade")
+}

@@ -1,0 +1,3 @@
+module rsu
+
+go 1.24

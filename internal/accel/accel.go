@@ -1,0 +1,154 @@
+// Package accel models the discrete RSU-G accelerator the paper summarizes
+// in Sec. II-C: 336 RSU-G units behind a 336 GB/s memory system, achieving
+// 21x (image segmentation, 5 labels) and 54x (motion estimation, 49 labels)
+// speedups over a GPU software baseline, versus 3x and 16x for the
+// RSU-augmented GPU. The model exposes the roofline structure: compute
+// scales with unit count at one label evaluation per cycle, until the
+// per-pixel memory traffic saturates the bandwidth.
+//
+// The GPU-side cost anchors come from the paper's own statements: common
+// distributions cost 600-800 cycles to sample in software and complex
+// multivariate distributions (the 2-D motion labels) cost ~10,000+ cycles
+// (Sec. II-A); the calibrated per-pixel sampling costs below land inside
+// those ranges.
+package accel
+
+import "fmt"
+
+// Machine holds the shared platform constants.
+type Machine struct {
+	// GPUCyclesPerSec is the GPU baseline's effective scalar throughput.
+	GPUCyclesPerSec float64
+	// AugUnits is the number of RSU-G units integrated into the GPU in the
+	// augmented configuration (roughly one per SM).
+	AugUnits int
+	// Units is the number of RSU-G units in the discrete accelerator.
+	Units int
+	// ClockHz is the accelerator clock (1 label evaluation/unit/cycle).
+	ClockHz float64
+	// MemBWBytesPerSec is the accelerator's memory bandwidth.
+	MemBWBytesPerSec float64
+}
+
+// DefaultMachine returns the paper's configuration: 336 units at 1 GHz
+// behind 336 GB/s, against a GPU with ~2 Tcycle/s effective throughput.
+func DefaultMachine() Machine {
+	return Machine{
+		GPUCyclesPerSec:  2e12,
+		AugUnits:         96,
+		Units:            336,
+		ClockHz:          1e9,
+		MemBWBytesPerSec: 336e9,
+	}
+}
+
+// AppProfile is the per-application cost model (per pixel per sweep).
+type AppProfile struct {
+	Name string
+	// Labels is M, the candidate count per variable.
+	Labels int
+	// EnergyCycles is the GPU cost of computing all M label energies.
+	EnergyCycles float64
+	// SamplingCycles is the GPU cost of drawing the label sample (CDF
+	// construction + draw; grows steeply for multivariate labels).
+	SamplingCycles float64
+	// BytesPerPixel is the accelerator's memory traffic per pixel update
+	// (singleton row, neighbor labels, writeback).
+	BytesPerPixel float64
+}
+
+// Segmentation5 returns the image-segmentation profile (5 labels).
+// Sampling ~830 cycles/pixel sits in the paper's 600-800+ band for common
+// distributions.
+func Segmentation5() AppProfile {
+	return AppProfile{Name: "segmentation", Labels: 5, EnergyCycles: 416, SamplingCycles: 832, BytesPerPixel: 10}
+}
+
+// Motion49 returns the motion-estimation profile (49 two-dimensional
+// labels). Sampling ~16k cycles/pixel reflects the paper's "10,000 cycles
+// for complex multivariate distributions".
+func Motion49() AppProfile {
+	return AppProfile{Name: "motion", Labels: 49, EnergyCycles: 1085, SamplingCycles: 16275, BytesPerPixel: 54}
+}
+
+// Validate reports profile errors.
+func (p AppProfile) Validate() error {
+	if p.Labels < 2 || p.EnergyCycles <= 0 || p.SamplingCycles < 0 || p.BytesPerPixel <= 0 {
+		return fmt.Errorf("accel: invalid profile %+v", p)
+	}
+	return nil
+}
+
+// GPUSecondsPerPixel returns the software baseline's time per pixel update.
+func (m Machine) GPUSecondsPerPixel(p AppProfile) float64 {
+	return (p.EnergyCycles + p.SamplingCycles) / m.GPUCyclesPerSec
+}
+
+// AugSecondsPerPixel returns the RSU-augmented GPU's per-pixel time: the
+// GPU still gathers data and computes energies while the integrated RSU-G
+// units sample at M cycles per pixel in aggregate; with the paper's
+// profiles the sampling hides under the energy computation.
+func (m Machine) AugSecondsPerPixel(p AppProfile) float64 {
+	energy := p.EnergyCycles / m.GPUCyclesPerSec
+	sample := float64(p.Labels) / (float64(m.AugUnits) * m.ClockHz)
+	if sample > energy {
+		return sample
+	}
+	return energy
+}
+
+// DiscreteSecondsPerPixel returns the discrete accelerator's time per pixel
+// with the given unit count: the compute/bandwidth roofline.
+func (m Machine) DiscreteSecondsPerPixel(p AppProfile, units int) float64 {
+	if units < 1 {
+		panic("accel: need at least one unit")
+	}
+	compute := float64(p.Labels) / (float64(units) * m.ClockHz)
+	memory := p.BytesPerPixel / m.MemBWBytesPerSec
+	if compute > memory {
+		return compute
+	}
+	return memory
+}
+
+// AugSpeedup returns the RSU-augmented GPU speedup over the software GPU.
+func (m Machine) AugSpeedup(p AppProfile) float64 {
+	return m.GPUSecondsPerPixel(p) / m.AugSecondsPerPixel(p)
+}
+
+// DiscreteSpeedup returns the discrete accelerator's speedup over the
+// software GPU at the machine's configured unit count.
+func (m Machine) DiscreteSpeedup(p AppProfile) float64 {
+	return m.GPUSecondsPerPixel(p) / m.DiscreteSecondsPerPixel(p, m.Units)
+}
+
+// SaturationUnits returns the unit count at which the application stops
+// scaling with compute and hits the bandwidth wall.
+func (m Machine) SaturationUnits(p AppProfile) int {
+	// compute == memory: M/(U f) = B/BW.
+	u := float64(p.Labels) * m.MemBWBytesPerSec / (p.BytesPerPixel * m.ClockHz)
+	return int(u)
+}
+
+// ScalingPoint is one entry of a unit-count scaling sweep.
+type ScalingPoint struct {
+	Units   int
+	Speedup float64
+	// MemoryBound reports whether the configuration is past the knee.
+	MemoryBound bool
+}
+
+// ScalingSweep evaluates the speedup at each unit count.
+func (m Machine) ScalingSweep(p AppProfile, unitCounts []int) []ScalingPoint {
+	gpu := m.GPUSecondsPerPixel(p)
+	sat := m.SaturationUnits(p)
+	pts := make([]ScalingPoint, 0, len(unitCounts))
+	for _, u := range unitCounts {
+		pts = append(pts, ScalingPoint{
+			Units:       u,
+			Speedup:     gpu / m.DiscreteSecondsPerPixel(p, u),
+			MemoryBound: u > sat,
+		})
+	}
+	return pts
+}

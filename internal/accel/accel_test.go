@@ -1,0 +1,109 @@
+package accel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAugSpeedupsMatchPaper(t *testing.T) {
+	m := DefaultMachine()
+	// Sec. II-C: 3x for image segmentation (5 labels), 16x for motion
+	// estimation (49 labels) when RSU-Gs augment a GPU.
+	if got := m.AugSpeedup(Segmentation5()); math.Abs(got-3) > 0.1 {
+		t.Errorf("segmentation aug speedup = %.2f, want ~3", got)
+	}
+	if got := m.AugSpeedup(Motion49()); math.Abs(got-16) > 0.5 {
+		t.Errorf("motion aug speedup = %.2f, want ~16", got)
+	}
+}
+
+func TestDiscreteSpeedupsMatchPaper(t *testing.T) {
+	m := DefaultMachine()
+	// Sec. II-C: 21x and 54x with 336 units at 336 GB/s.
+	if got := m.DiscreteSpeedup(Segmentation5()); math.Abs(got-21) > 1 {
+		t.Errorf("segmentation discrete speedup = %.2f, want ~21", got)
+	}
+	if got := m.DiscreteSpeedup(Motion49()); math.Abs(got-54) > 2 {
+		t.Errorf("motion discrete speedup = %.2f, want ~54", got)
+	}
+}
+
+func TestSamplingCostsWithinPaperBands(t *testing.T) {
+	// Sec. II-A anchors: 600-800 cycles for common distributions, ~10,000
+	// for complex multivariate ones.
+	s := Segmentation5()
+	if s.SamplingCycles < 600 || s.SamplingCycles > 1000 {
+		t.Errorf("segmentation sampling %v cycles outside the 600-800+ band", s.SamplingCycles)
+	}
+	mo := Motion49()
+	if mo.SamplingCycles < 10000 || mo.SamplingCycles > 30000 {
+		t.Errorf("motion sampling %v cycles inconsistent with ~10k+ multivariate cost", mo.SamplingCycles)
+	}
+}
+
+func TestSegmentationIsBandwidthBound(t *testing.T) {
+	m := DefaultMachine()
+	p := Segmentation5()
+	sat := m.SaturationUnits(p)
+	if sat >= m.Units {
+		t.Fatalf("segmentation saturates at %d units, should be below the %d configured", sat, m.Units)
+	}
+	// Past saturation, more units must not help.
+	atSat := m.DiscreteSecondsPerPixel(p, sat)
+	at2x := m.DiscreteSecondsPerPixel(p, 2*sat)
+	if at2x < atSat*0.999 {
+		t.Errorf("speedup kept scaling past the bandwidth wall: %v -> %v", atSat, at2x)
+	}
+}
+
+func TestMotionSaturatesLater(t *testing.T) {
+	m := DefaultMachine()
+	if m.SaturationUnits(Motion49()) <= m.SaturationUnits(Segmentation5()) {
+		t.Error("higher arithmetic intensity must push the knee to more units")
+	}
+}
+
+func TestScalingSweepMonotoneThenFlat(t *testing.T) {
+	m := DefaultMachine()
+	pts := m.ScalingSweep(Motion49(), []int{8, 32, 128, 256, 512, 1024})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup < pts[i-1].Speedup*0.999 {
+			t.Errorf("scaling not monotone at %d units", pts[i].Units)
+		}
+	}
+	last := pts[len(pts)-1]
+	if !last.MemoryBound {
+		t.Error("1024 units must be memory bound")
+	}
+	if pts[0].MemoryBound {
+		t.Error("8 units must be compute bound")
+	}
+	// Flat after the wall: 512 and 1024 within a hair.
+	if math.Abs(pts[5].Speedup-pts[4].Speedup) > 0.01*pts[4].Speedup {
+		t.Errorf("speedup not flat past the wall: %v vs %v", pts[4].Speedup, pts[5].Speedup)
+	}
+}
+
+func TestAugHidesSampling(t *testing.T) {
+	m := DefaultMachine()
+	p := Motion49()
+	// The RSU's M cycles must hide under the GPU's energy gathering.
+	if m.AugSecondsPerPixel(p) != p.EnergyCycles/m.GPUCyclesPerSec {
+		t.Error("aug time should be GPU-energy bound for the paper profiles")
+	}
+}
+
+func TestValidateAndPanics(t *testing.T) {
+	if (AppProfile{Labels: 1, EnergyCycles: 1, BytesPerPixel: 1}).Validate() == nil {
+		t.Error("1-label profile must be invalid")
+	}
+	if Segmentation5().Validate() != nil || Motion49().Validate() != nil {
+		t.Error("standard profiles must validate")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero units")
+		}
+	}()
+	DefaultMachine().DiscreteSecondsPerPixel(Segmentation5(), 0)
+}

@@ -1,0 +1,126 @@
+package flow
+
+import (
+	"testing"
+
+	"rsu/internal/core"
+	"rsu/internal/mrf"
+	"rsu/internal/rng"
+	"rsu/internal/synth"
+)
+
+func fastParams() Params {
+	p := DefaultParams()
+	p.Schedule = mrf.Schedule{T0: 32, Alpha: 0.93, Iterations: 60}
+	return p
+}
+
+func smallPair() *synth.FlowPair {
+	return synth.Flow("small", 32, 24, 2, 3, 9)
+}
+
+func TestBuildProblemLabelCount(t *testing.T) {
+	pair := smallPair()
+	prob := BuildProblem(pair, DefaultParams())
+	if prob.Labels != 25 {
+		t.Fatalf("labels = %d, want 25 for radius 2", prob.Labels)
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBorderCost(t *testing.T) {
+	pair := smallPair()
+	p := DefaultParams()
+	prob := BuildProblem(pair, p)
+	// Motion (-2,-2) from pixel (0,0) leaves the frame.
+	l := synth.VectorToLabel(-2, -2, pair.Radius)
+	if got := prob.Singleton(0, 0, l); got != p.BorderCost {
+		t.Fatalf("border singleton = %v, want %v", got, p.BorderCost)
+	}
+}
+
+func TestPairDistIsSquaredVectorDistance(t *testing.T) {
+	pair := smallPair()
+	prob := BuildProblem(pair, DefaultParams())
+	a := synth.VectorToLabel(1, 2, 2)
+	b := synth.VectorToLabel(-1, 0, 2)
+	if got := prob.PairDist(a, b); got != 8 { // (2)^2 + (2)^2
+		t.Fatalf("PairDist = %v, want 8", got)
+	}
+	if prob.PairDist(a, a) != 0 {
+		t.Fatal("self-distance must be 0")
+	}
+}
+
+func TestEnergyWithinQuantRange(t *testing.T) {
+	pair := smallPair()
+	p := DefaultParams()
+	prob := BuildProblem(pair, p)
+	maxTotal := p.DataWeight*p.DataCap + 4*p.SmoothWeight*p.SmoothCap
+	if maxTotal > 255 {
+		t.Fatalf("max energy %v exceeds 8-bit range", maxTotal)
+	}
+	for y := 0; y < prob.H; y += 3 {
+		for x := 0; x < prob.W; x += 3 {
+			for l := 0; l < prob.Labels; l++ {
+				if e := prob.Singleton(x, y, l); e < 0 || e > p.DataCap+p.BorderCost {
+					t.Fatalf("singleton %v out of range", e)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveRecoverMotion(t *testing.T) {
+	pair := smallPair()
+	res, err := Solve(pair, core.NewSoftwareSampler(rng.NewXoshiro256(1)), fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-motion everywhere would score the mean GT magnitude; the solver
+	// must land well below the in-window worst case.
+	if res.EPE > 2 {
+		t.Fatalf("software EPE = %v, want < 2", res.EPE)
+	}
+}
+
+func TestSolveNewRSUGTracksSoftware(t *testing.T) {
+	pair := smallPair()
+	p := fastParams()
+	sw, err := Solve(pair, core.NewSoftwareSampler(rng.NewXoshiro256(2)), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nu, err := Solve(pair, core.MustUnit(core.NewRSUG(), rng.NewXoshiro256(3), true), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nu.EPE > sw.EPE+0.6 {
+		t.Fatalf("new RSU-G EPE %v too far above software %v", nu.EPE, sw.EPE)
+	}
+}
+
+func TestFlowFieldToGray(t *testing.T) {
+	pair := smallPair()
+	res, err := Solve(pair, core.NewSoftwareSampler(rng.NewXoshiro256(4)), fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FlowFieldToGray(res.Labels, pair.Radius)
+	for _, v := range g.Pix {
+		if v < 0 || v > 255 {
+			t.Fatalf("rendered magnitude %v out of range", v)
+		}
+	}
+}
+
+func TestInitialLabelsZeroMotion(t *testing.T) {
+	pair := smallPair()
+	init := initialLabels(pair)
+	u, v := synth.LabelToVector(init.At(3, 3), pair.Radius)
+	if u != 0 || v != 0 {
+		t.Fatalf("initial motion (%d,%d), want (0,0)", u, v)
+	}
+}

@@ -1,0 +1,151 @@
+package ising
+
+import (
+	"math"
+	"testing"
+
+	"rsu/internal/core"
+	"rsu/internal/rng"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Model{
+		{N: 2, J: 16},
+		{N: 16, J: 0},
+		{N: 16, J: 40}, // 8J + ... > 255
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("model %d unexpectedly valid", i)
+		}
+	}
+}
+
+func TestConditionalDistributionMatchesHeatBath(t *testing.T) {
+	// For a site with k aligned and 4-k anti-aligned neighbors, the
+	// heat-bath probability of spin +1 is sigmoid(2 beta J (2k-4) ... ) —
+	// verify through the MRF energies directly.
+	m := DefaultModel()
+	prob := m.Problem()
+	// Energies for the two labels at a site whose 4 neighbors are all +1:
+	singles := prob.Singleton(1, 1, 0)
+	_ = singles
+	eUp := prob.Singleton(1, 1, 1) + 4*prob.PairDist(1, 1)
+	eDown := prob.Singleton(1, 1, 0) + 4*prob.PairDist(0, 1)
+	// Delta E = E(down) - E(up) = 8J for an all-up neighborhood.
+	if d := eDown - eUp; math.Abs(d-8*m.J) > 1e-9 {
+		t.Fatalf("conditional energy gap %v, want %v", d, 8*m.J)
+	}
+}
+
+func TestColdPhaseOrders(t *testing.T) {
+	m := Model{N: 24, J: 16}
+	obs, err := m.Run(core.NewSoftwareSampler(rng.NewXoshiro256(1)), 1.5, 150, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Magnetization < 0.85 {
+		t.Fatalf("T=1.5 magnetization %.3f, want ordered (> 0.85)", obs.Magnetization)
+	}
+	if obs.Energy > -1.5 {
+		t.Fatalf("T=1.5 energy %.3f, want near ground state (-2 minus boundary)", obs.Energy)
+	}
+}
+
+func TestHotPhaseDisorders(t *testing.T) {
+	m := Model{N: 24, J: 16}
+	obs, err := m.Run(core.NewSoftwareSampler(rng.NewXoshiro256(2)), 4.5, 80, 120, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Magnetization > 0.25 {
+		t.Fatalf("T=4.5 magnetization %.3f, want disordered (< 0.25)", obs.Magnetization)
+	}
+}
+
+func TestRSUGTracksSoftwareInItsErgodicRange(t *testing.T) {
+	// The 4-bit lambda cut-off zeroes any conditional below ~1/8, which
+	// for Ising removes the bulk-flip channel (DeltaE = 8J) whenever
+	// T < 8/ln(8) ≈ 3.85 J. Inside the ergodic range — deep order and
+	// clear disorder — the unit must track software.
+	m := Model{N: 20, J: 16}
+	for _, T := range []float64{1.6, 4.5} {
+		sw, err := m.Run(core.NewSoftwareSampler(rng.NewXoshiro256(3)), T, 100, 80, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ru, err := m.Run(core.MustUnit(core.NewRSUG(), rng.NewXoshiro256(4), true), T, 100, 80, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(sw.Magnetization - ru.Magnetization); d > 0.15 {
+			t.Errorf("T=%v: |m| software %.3f vs RSU-G %.3f", T, sw.Magnetization, ru.Magnetization)
+		}
+	}
+}
+
+func TestL4CutoffBreaksMeltingAndL7Restores(t *testing.T) {
+	// The documented limitation (see the ext-ising experiment): at T = 3.2
+	// (above Tc but below the L4 ergodic threshold) the 4-bit design stays
+	// frozen in the ordered phase, while a 7-bit-lambda variant melts with
+	// software.
+	m := Model{N: 20, J: 16}
+	const T = 3.2
+	sw, err := m.Run(core.NewSoftwareSampler(rng.NewXoshiro256(5)), T, 120, 80, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Magnetization > 0.4 {
+		t.Fatalf("software |m| %.3f at T=3.2, expected disordered", sw.Magnetization)
+	}
+	l4, err := m.Run(core.MustUnit(core.NewRSUG(), rng.NewXoshiro256(6), true), T, 120, 80, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l4.Magnetization < 0.5 {
+		t.Fatalf("L4 |m| %.3f at T=3.2; expected the cut-off to freeze the ordered phase", l4.Magnetization)
+	}
+	cfg7 := core.NewRSUG()
+	cfg7.LambdaBits = 7
+	cfg7.Mode = core.ConvertScaledCutoff
+	// 128 lambda codes cannot be resolved by 32 time bins (everything
+	// ties in bin 1) — the Lambda_bits/Time_bits coupling the paper's
+	// sequential methodology respects. The L7 reference therefore uses
+	// continuous (float) timing.
+	cfg7.TimeBits = 0
+	cfg7.Truncation = 0
+	l7, err := m.Run(core.MustUnit(cfg7, rng.NewXoshiro256(7), true), T, 120, 80, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l7.Magnetization-sw.Magnetization) > 0.2 {
+		t.Fatalf("L7 |m| %.3f should track software %.3f", l7.Magnetization, sw.Magnetization)
+	}
+}
+
+func TestFieldBiasesMagnetization(t *testing.T) {
+	m := Model{N: 20, J: 16, H: 8}
+	prob := m.Problem()
+	// With h > 0 the up label must have the lower singleton.
+	if prob.Singleton(0, 0, 1) >= prob.Singleton(0, 0, 0) {
+		t.Fatal("positive field must favor spin up")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := DefaultModel()
+	s := core.NewSoftwareSampler(rng.NewSplitMix64(1))
+	if _, err := m.Run(s, 0, 1, 1, 1); err == nil {
+		t.Error("T = 0 must error")
+	}
+	if _, err := m.Run(s, 2, 1, 0, 1); err == nil {
+		t.Error("zero measurement sweeps must error")
+	}
+	bad := Model{N: 2, J: 16}
+	if _, err := bad.Run(s, 2, 1, 1, 1); err == nil {
+		t.Error("invalid model must error")
+	}
+}

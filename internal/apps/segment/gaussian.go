@@ -1,0 +1,86 @@
+package segment
+
+import (
+	"math"
+	"sort"
+
+	"rsu/internal/img"
+	"rsu/internal/mrf"
+	"rsu/internal/quant"
+)
+
+// Gaussian is a per-segment intensity model (the domain model the paper's
+// segmentation formulation assumes: each segment emits pixels from its own
+// Gaussian).
+type Gaussian struct {
+	Mean, Std float64
+}
+
+// FitGaussians runs 1-D k-means and then estimates a per-cluster standard
+// deviation, returning full Gaussian class models sorted by mean. Clusters
+// that collapse get a floor deviation so the energy stays finite.
+func FitGaussians(im *img.Gray, k, iters int) []Gaussian {
+	means := FitMeans(im, k, iters)
+	sums := make([]float64, k)
+	sqs := make([]float64, k)
+	counts := make([]float64, k)
+	for _, v := range im.Pix {
+		best, bestD := 0, math.Inf(1)
+		for j, m := range means {
+			d := (v - m) * (v - m)
+			if d < bestD {
+				bestD = d
+				best = j
+			}
+		}
+		sums[best] += v
+		sqs[best] += v * v
+		counts[best]++
+	}
+	gs := make([]Gaussian, k)
+	for j := range gs {
+		if counts[j] < 2 {
+			gs[j] = Gaussian{Mean: means[j], Std: 4}
+			continue
+		}
+		m := sums[j] / counts[j]
+		v := sqs[j]/counts[j] - m*m
+		if v < 1 {
+			v = 1
+		}
+		gs[j] = Gaussian{Mean: m, Std: math.Sqrt(v)}
+	}
+	sort.Slice(gs, func(a, b int) bool { return gs[a].Mean < gs[b].Mean })
+	return gs
+}
+
+// BuildGaussianProblem constructs the MRF with the full Gaussian negative
+// log-likelihood data term, (I-mu)^2/(2 sigma^2) + ln sigma, scaled into
+// the 8-bit energy range. Compared to BuildProblem's means-only term, this
+// handles segments with different noise levels correctly.
+func BuildGaussianProblem(im *img.Gray, models []Gaussian, p Params) *mrf.Problem {
+	// Shift by -ln(sigma_min) so the lowest achievable energy is zero, and
+	// scale so a 3-sigma deviation of any class stays inside the 8-bit
+	// range: e(l) = [d^2/2 + ln(sigma_l / sigma_min)] * scale.
+	minStd, maxStd := math.Inf(1), 1.0
+	for _, g := range models {
+		if g.Std < minStd {
+			minStd = g.Std
+		}
+		if g.Std > maxStd {
+			maxStd = g.Std
+		}
+	}
+	scale := p.DataCap / (4.5 + math.Log(maxStd/minStd))
+	return &mrf.Problem{
+		W: im.W, H: im.H, Labels: len(models),
+		Singleton: func(x, y, l int) float64 {
+			g := models[l]
+			d := (im.At(x, y) - g.Mean) / g.Std
+			e := (d*d/2 + math.Log(g.Std/minStd)) * scale
+			return quant.Clamp(e, 0, p.DataCap)
+		},
+		PairWeight: p.SmoothWeight,
+		Dist:       mrf.Binary,
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"rsu/internal/rng"
+)
+
+// BarkerSampler is the "beyond Gibbs sampling" extension the paper's
+// future-work section calls for (Sec. IV-D): a Metropolis-style MCMC unit
+// built from the same first-to-fire hardware. Each variable update draws a
+// uniform proposal label and races *two* RET networks — one parameterized
+// by the current label's energy, one by the proposal's. The proposal wins
+// with probability lambda_prop / (lambda_prop + lambda_cur), which is
+// exactly Barker's acceptance rule, a valid MCMC acceptance function with
+// the same stationary distribution as Metropolis-Hastings.
+//
+// Compared to the Gibbs unit, a Barker update evaluates 2 labels instead of
+// M, trading fewer RET activations (and pipeline cycles) per update for
+// slower mixing — quantified by the barker experiment.
+type BarkerSampler struct {
+	unit *Unit
+	src  rng.Source
+}
+
+// NewBarkerSampler wraps an RSU-G configuration as a Barker/Metropolis
+// unit. The configuration's conversion and timing parameters are reused
+// unchanged; proposal draws come from src.
+func NewBarkerSampler(cfg Config, src rng.Source) (*BarkerSampler, error) {
+	if src == nil {
+		return nil, fmt.Errorf("core: nil rng source")
+	}
+	u, err := NewUnit(cfg, src, true)
+	if err != nil {
+		return nil, err
+	}
+	return &BarkerSampler{unit: u, src: src}, nil
+}
+
+// SetTemperature updates the annealing temperature.
+func (b *BarkerSampler) SetTemperature(T float64) { b.unit.SetTemperature(T) }
+
+// Stats exposes the underlying unit's counters.
+func (b *BarkerSampler) Stats() Stats { return b.unit.Stats() }
+
+// Sample proposes a uniform label and races it against the current one.
+// The two-label energy vector goes through the full RSU-G pipeline
+// (quantization, scaling, conversion, binned truncated first-to-fire), so
+// all precision effects the paper studies apply to the acceptance decision
+// too.
+func (b *BarkerSampler) Sample(energies []float64, current int) int {
+	m := len(energies)
+	if m == 0 {
+		panic("core: Sample requires at least one label")
+	}
+	if current < 0 || current >= m {
+		panic("core: current label out of range")
+	}
+	if m == 1 {
+		return 0
+	}
+	proposal := rng.Intn(b.src, m-1)
+	if proposal >= current {
+		proposal++
+	}
+	pair := [2]float64{energies[current], energies[proposal]}
+	winner := b.unit.Sample(pair[:], 0)
+	if winner == 1 {
+		return proposal
+	}
+	return current
+}
+
+var _ LabelSampler = (*BarkerSampler)(nil)

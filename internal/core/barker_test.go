@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rsu/internal/rng"
+)
+
+func TestBarkerAcceptanceMatchesRule(t *testing.T) {
+	// Continuous-time float configuration: the proposal must win with
+	// exactly lambda_p / (lambda_p + lambda_c) = Barker's acceptance.
+	cfg := FloatReference()
+	b, err := NewBarkerSampler(cfg, rng.NewXoshiro256(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetTemperature(2)
+	energies := []float64{0, 3} // lambda ratio e^{-0/2} : e^{-3/2}
+	const n = 200000
+	accepted := 0
+	for i := 0; i < n; i++ {
+		if b.Sample(energies, 0) == 1 {
+			accepted++
+		}
+	}
+	lp := math.Exp(-3.0 / 2)
+	want := lp / (lp + 1)
+	got := float64(accepted) / n
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("acceptance = %v, want Barker %v", got, want)
+	}
+}
+
+func TestBarkerStationaryDistribution(t *testing.T) {
+	// Run the Barker chain on a 3-label variable and compare the empirical
+	// occupancy against the Boltzmann distribution.
+	b, err := NewBarkerSampler(FloatReference(), rng.NewXoshiro256(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := 1.5
+	b.SetTemperature(T)
+	energies := []float64{0, 1, 2.5}
+	var z float64
+	want := make([]float64, 3)
+	for i, e := range energies {
+		want[i] = math.Exp(-e / T)
+		z += want[i]
+	}
+	for i := range want {
+		want[i] /= z
+	}
+	state := 0
+	counts := make([]float64, 3)
+	const burn, n = 2000, 400000
+	for i := 0; i < burn+n; i++ {
+		state = b.Sample(energies, state)
+		if i >= burn {
+			counts[state]++
+		}
+	}
+	for i := range counts {
+		got := counts[i] / n
+		if math.Abs(got-want[i]) > 0.01 {
+			t.Errorf("state %d occupancy %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestBarkerQuantizedStillConverges(t *testing.T) {
+	// With the full new-RSUG precision stack the chain should still favor
+	// the low-energy state strongly at low temperature.
+	b, err := NewBarkerSampler(NewRSUG(), rng.NewXoshiro256(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetTemperature(5)
+	energies := []float64{0, 60, 120, 180}
+	state := 3
+	atZero := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		state = b.Sample(energies, state)
+		if state == 0 {
+			atZero++
+		}
+	}
+	if frac := float64(atZero) / n; frac < 0.9 {
+		t.Fatalf("low-energy occupancy %v, want > 0.9", frac)
+	}
+}
+
+func TestBarkerEdgeCases(t *testing.T) {
+	b, err := NewBarkerSampler(FloatReference(), rng.NewXoshiro256(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Sample([]float64{7}, 0); got != 0 {
+		t.Fatal("single label must return 0")
+	}
+	if _, err := NewBarkerSampler(FloatReference(), nil); err == nil {
+		t.Fatal("nil source must error")
+	}
+	if _, err := NewBarkerSampler(Config{EnergyBits: -1}, rng.NewSplitMix64(1)); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+func TestBarkerProposalNeverCurrent(t *testing.T) {
+	// The proposal mechanism must explore: starting anywhere on a flat
+	// energy landscape, all labels get visited.
+	b, err := NewBarkerSampler(FloatReference(), rng.NewXoshiro256(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetTemperature(1)
+	energies := make([]float64, 6)
+	seen := map[int]bool{}
+	state := 2
+	for i := 0; i < 5000; i++ {
+		state = b.Sample(energies, state)
+		seen[state] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("visited %d/6 states on a flat landscape", len(seen))
+	}
+}
+
+func TestBarkerPanicsOnBadCurrent(t *testing.T) {
+	b, _ := NewBarkerSampler(FloatReference(), rng.NewXoshiro256(6))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range current")
+		}
+	}()
+	b.Sample([]float64{1, 2}, 5)
+}

@@ -1,0 +1,203 @@
+// Package core implements the paper's primary contribution: a functional
+// model of the RET-based Gibbs Sampling Unit (RSU-G), faithful to the
+// limited-precision datapath described in Secs. II-C, III and IV.
+//
+// A Unit evaluates M candidate labels for one MRF random variable. For each
+// label it (1) quantizes the label's energy (Energy_bits), (2) converts the
+// energy to an integer exponential decay-rate code (Lambda_bits) through
+// either the previous design's LUT or the new design's comparison boundaries,
+// optionally applying decay-rate scaling, probability cut-off and 2^n code
+// truncation, (3) draws a time-to-fluorescence sample from the commensurate
+// exponential distribution, discretized to Time_bits time bins and truncated
+// at the detection window, and (4) selects the label with the shortest TTF
+// (first-to-fire). The same type also models the paper's float-precision
+// reference points by setting a stage's bit width to zero.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// TieBreak selects how the first-to-fire comparator resolves two labels
+// whose TTFs land in the same time bin.
+type TieBreak int
+
+const (
+	// TieFirstWins keeps the earlier-evaluated label: a selection stage
+	// that only replaces the incumbent on a strictly shorter TTF. At the
+	// coarse Time_bits the paper selects, this deterministic bias visibly
+	// degrades result quality (see the tiebreak ablation), so it is not
+	// the default.
+	TieFirstWins TieBreak = iota
+	// TieRandom picks uniformly among the tied labels via reservoir
+	// sampling — one spare comparator random bit in hardware. This is the
+	// default for both standard configurations; DESIGN.md §5 records the
+	// modeling decision.
+	TieRandom
+)
+
+// ConvertMode selects the energy-to-lambda conversion pipeline.
+type ConvertMode int
+
+const (
+	// ConvertPrev is the previously proposed RSU-G (Wang et al. [5]):
+	// lambda = e^(-E/T) quantized directly to an intensity code with the
+	// minimum clamped to lambda_0. No decay-rate scaling, no cut-off.
+	ConvertPrev ConvertMode = iota
+	// ConvertScaled adds decay-rate scaling (E' = E - E_min) but keeps the
+	// minimum clamp ("int lambda scaled" line in Fig. 5a).
+	ConvertScaled
+	// ConvertScaledCutoff adds the probability cut-off: codes that truncate
+	// below 1 become 0 and the label can never fire ("with cutoff").
+	ConvertScaledCutoff
+	// ConvertScaledCutoffPow2 additionally truncates codes to the nearest
+	// lower power of two, shrinking the unique decay rates from 2^L to L —
+	// the new RSU-G design point ("2^n truncation").
+	ConvertScaledCutoffPow2
+	// ConvertCutoffNoScale applies the cut-off without decay-rate scaling.
+	// The paper notes this performs poorly (everything is cut off early in
+	// annealing); it exists for the ablation that reproduces that claim.
+	ConvertCutoffNoScale
+)
+
+func (m ConvertMode) String() string {
+	switch m {
+	case ConvertPrev:
+		return "prev"
+	case ConvertScaled:
+		return "scaled"
+	case ConvertScaledCutoff:
+		return "scaled+cutoff"
+	case ConvertScaledCutoffPow2:
+		return "scaled+cutoff+pow2"
+	case ConvertCutoffNoScale:
+		return "cutoff-no-scale"
+	default:
+		return fmt.Sprintf("ConvertMode(%d)", int(m))
+	}
+}
+
+// Config fixes the four design parameters the paper studies plus the
+// conversion/selection policies.
+type Config struct {
+	Name string
+
+	// EnergyBits is the precision of the energy computation stage output.
+	// 0 models IEEE-float energies (the reference configuration).
+	EnergyBits int
+	// EnergyMax is the top of the quantized energy range [0, EnergyMax].
+	// Applications scale their energy weights so meaningful energies span
+	// this range; the paper uses 8-bit energies (EnergyMax 255).
+	EnergyMax float64
+
+	// LambdaBits is the decay-rate code width. 0 models float lambda.
+	LambdaBits int
+	// Mode selects the conversion pipeline (scaling / cut-off / 2^n).
+	Mode ConvertMode
+
+	// TimeBits is the TTF measurement width: the detection window holds
+	// 2^TimeBits time bins. 0 models continuous (float) time measurement
+	// with an unbounded window.
+	TimeBits int
+	// Truncation is P(TTF > t_max | lambda_0): the fraction of the slowest
+	// exponential's tail that falls outside the detection window and is
+	// rounded up to infinity. Must be in (0, 1) when TimeBits > 0.
+	Truncation float64
+
+	// Tie selects the comparator tie-break policy.
+	Tie TieBreak
+}
+
+// Validate reports configuration errors. A zero-valued field that has a
+// documented "float precision" meaning is allowed.
+func (c Config) Validate() error {
+	if c.EnergyBits < 0 || c.EnergyBits > 16 {
+		return fmt.Errorf("core: EnergyBits %d out of range [0,16]", c.EnergyBits)
+	}
+	if c.EnergyBits > 0 && c.EnergyMax <= 0 {
+		return fmt.Errorf("core: EnergyMax must be positive with quantized energies")
+	}
+	if c.LambdaBits < 0 || c.LambdaBits > 10 {
+		return fmt.Errorf("core: LambdaBits %d out of range [0,10]", c.LambdaBits)
+	}
+	if c.TimeBits < 0 || c.TimeBits > 16 {
+		return fmt.Errorf("core: TimeBits %d out of range [0,16]", c.TimeBits)
+	}
+	if c.TimeBits > 0 && (c.Truncation <= 0 || c.Truncation >= 1) {
+		return fmt.Errorf("core: Truncation %v must be in (0,1) when TimeBits > 0", c.Truncation)
+	}
+	if c.Mode == ConvertScaledCutoffPow2 && c.LambdaBits == 1 {
+		return fmt.Errorf("core: pow2 truncation needs LambdaBits >= 2")
+	}
+	return nil
+}
+
+// MaxLambdaCode returns the largest decay-rate code the configuration can
+// produce: 2^L without 2^n truncation, 2^(L-1) with it (e.g. 8 for the new
+// design's Lambda_bits = 4, matching Fig. 7's lambda_max = 8 lambda_0).
+// Returns 0 for float-lambda configurations.
+func (c Config) MaxLambdaCode() int {
+	if c.LambdaBits <= 0 {
+		return 0
+	}
+	if c.Mode == ConvertScaledCutoffPow2 {
+		return 1 << (c.LambdaBits - 1)
+	}
+	return 1 << c.LambdaBits
+}
+
+// TimeBins returns the number of time bins in the detection window
+// (2^TimeBits), or 0 for continuous time.
+func (c Config) TimeBins() int {
+	if c.TimeBits <= 0 {
+		return 0
+	}
+	return 1 << c.TimeBits
+}
+
+// Lambda0 returns the base decay rate per time bin implied by the truncation
+// target: Truncation = exp(-lambda_0 * t_max). Returns 0 for continuous-time
+// configurations, where the absolute rate scale is irrelevant.
+func (c Config) Lambda0() float64 {
+	if c.TimeBits <= 0 {
+		return 0
+	}
+	return -math.Log(c.Truncation) / float64(c.TimeBins())
+}
+
+// PrevRSUG returns the configuration of the previously proposed RSU-G
+// (Wang et al. [5]) as characterized in Sec. II-C: 8-bit energy, 4-bit
+// intensity-based lambda without scaling or cut-off, 5-bit time measurement,
+// and a 0.004 truncation (the 4 replicated RET circuits cover 99.6% of the
+// slowest exponential's samples).
+func PrevRSUG() Config {
+	return Config{
+		Name:       "prev-RSUG",
+		EnergyBits: 8, EnergyMax: 255,
+		LambdaBits: 4, Mode: ConvertPrev,
+		TimeBits: 5, Truncation: 0.004,
+		Tie: TieRandom,
+	}
+}
+
+// NewRSUG returns the paper's proposed high-quality design point
+// (Sec. IV): 8-bit energy, 4-bit lambda with decay-rate scaling,
+// probability cut-off and 2^n truncation (codes {0,1,2,4,8}), 5-bit time
+// measurement with truncation 0.5.
+func NewRSUG() Config {
+	return Config{
+		Name:       "new-RSUG",
+		EnergyBits: 8, EnergyMax: 255,
+		LambdaBits: 4, Mode: ConvertScaledCutoffPow2,
+		TimeBits: 5, Truncation: 0.5,
+		Tie: TieRandom,
+	}
+}
+
+// FloatReference returns the all-float configuration used as the top of the
+// paper's sequential evaluation ladder: float energies, float lambda,
+// continuous time. It behaves identically to exact Gibbs sampling.
+func FloatReference() Config {
+	return Config{Name: "float-reference", Mode: ConvertScaled, Tie: TieRandom}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+
+	"rsu/internal/rng"
+)
+
+// SoftwareSampler is the paper's software-only baseline: full IEEE-float
+// Gibbs sampling, choosing label i with probability proportional to
+// exp(-E_i / T). It implements LabelSampler so the same MRF engine drives
+// both the baseline and the RSU-G functional simulator.
+type SoftwareSampler struct {
+	src rng.Source
+	T   float64
+	buf []float64
+}
+
+// NewSoftwareSampler returns a software Gibbs sampler at temperature 1.
+func NewSoftwareSampler(src rng.Source) *SoftwareSampler {
+	return &SoftwareSampler{src: src, T: 1}
+}
+
+// SetTemperature updates the annealing temperature.
+func (s *SoftwareSampler) SetTemperature(T float64) {
+	if T <= 0 {
+		panic("core: temperature must be positive")
+	}
+	s.T = T
+}
+
+// Sample draws a label from the Boltzmann distribution over the energies.
+// The current label is unused: with float precision every label has positive
+// probability, so a sample is always produced.
+func (s *SoftwareSampler) Sample(energies []float64, _ int) int {
+	if len(energies) == 0 {
+		panic("core: Sample requires at least one label")
+	}
+	if cap(s.buf) < len(energies) {
+		s.buf = make([]float64, len(energies))
+	}
+	w := s.buf[:len(energies)]
+	min := energies[0]
+	for _, e := range energies[1:] {
+		if e < min {
+			min = e
+		}
+	}
+	for i, e := range energies {
+		w[i] = math.Exp(-(e - min) / s.T)
+	}
+	return rng.Categorical(s.src, w)
+}
+
+var (
+	_ LabelSampler = (*SoftwareSampler)(nil)
+	_ LabelSampler = (*Unit)(nil)
+)

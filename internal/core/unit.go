@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rsu/internal/quant"
+	"rsu/internal/rng"
+)
+
+// LabelSampler is the interface the MRF Gibbs engine drives: given the
+// energies of every candidate label for one random variable and the
+// variable's current label, pick the next label. SetTemperature is called
+// once per simulated-annealing iteration (which in the previous RSU-G
+// design costs a LUT rewrite and in the new design a stall-free boundary
+// register update).
+type LabelSampler interface {
+	SetTemperature(T float64)
+	Sample(energies []float64, current int) int
+}
+
+// Stats accumulates observable behavior of a Unit, used by tests and by the
+// truncation/coverage analyses.
+type Stats struct {
+	Evaluations int // Sample calls (one per random-variable update)
+	LabelEvals  int // total labels evaluated
+	Cutoffs     int // labels whose decay-rate code was 0 (can never fire)
+	Truncated   int // labels whose TTF fell beyond the detection window
+	NoFire      int // evaluations where no label fired (variable kept)
+	Ties        int // evaluations decided through the tie-break policy
+}
+
+// Unit is the RSU-G functional simulator. It is not safe for concurrent use;
+// create one Unit (with its own rng.Source) per worker.
+type Unit struct {
+	cfg     Config
+	src     rng.Source
+	useLUT  bool
+	conv    Converter
+	T       float64
+	equant  quant.Quantizer
+	estep   float64
+	lambda0 float64
+	tmax    int
+	stats   Stats
+
+	// scratch buffers reused across Sample calls (Unit is single-threaded).
+	effBuf  []float64
+	codeBuf []int
+	rateBuf []float64
+	binBuf  []int
+}
+
+// NewUnit builds a Unit for configuration cfg driven by src. useLUT selects
+// the LUT realization of the energy-to-lambda converter; false selects the
+// boundary-comparison realization (both compute the same function; see
+// Converter). The Unit starts at temperature 1.
+func NewUnit(cfg Config, src rng.Source, useLUT bool) (*Unit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("core: nil rng source")
+	}
+	u := &Unit{cfg: cfg, src: src, useLUT: useLUT, lambda0: cfg.Lambda0(), tmax: cfg.TimeBins()}
+	if cfg.EnergyBits > 0 {
+		u.equant = quant.Quantizer{Bits: cfg.EnergyBits, Min: 0, Max: cfg.EnergyMax}
+		u.estep = u.equant.Step()
+	}
+	u.SetTemperature(1)
+	return u, nil
+}
+
+// MustUnit is NewUnit that panics on error, for tests and examples.
+func MustUnit(cfg Config, src rng.Source, useLUT bool) *Unit {
+	u, err := NewUnit(cfg, src, useLUT)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Config returns the Unit's configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+// Stats returns the accumulated counters.
+func (u *Unit) Stats() Stats { return u.stats }
+
+// ResetStats clears the counters.
+func (u *Unit) ResetStats() { u.stats = Stats{} }
+
+// SetTemperature folds the simulated-annealing temperature into the
+// energy-to-lambda conversion, rebuilding the LUT or boundary registers.
+func (u *Unit) SetTemperature(T float64) {
+	if T <= 0 {
+		panic("core: temperature must be positive")
+	}
+	u.T = T
+	if u.cfg.EnergyBits > 0 && u.cfg.LambdaBits > 0 {
+		if u.useLUT {
+			u.conv = NewLUTConverter(u.cfg, T)
+		} else {
+			u.conv = NewBoundaryConverter(u.cfg, T)
+		}
+	}
+}
+
+// Temperature returns the current annealing temperature.
+func (u *Unit) Temperature() float64 { return u.T }
+
+// LambdaCode returns the decay-rate code the unit assigns to the given
+// effective energy (after scaling) at the current temperature. Exposed for
+// the conversion experiments; Sample is the normal entry point.
+func (u *Unit) LambdaCode(effectiveEnergy float64) int {
+	if u.cfg.LambdaBits <= 0 {
+		panic("core: LambdaCode requires integer lambda configuration")
+	}
+	if u.cfg.EnergyBits > 0 {
+		ecode := int(math.Round(effectiveEnergy / u.estep))
+		return u.conv.Code(ecode)
+	}
+	return u.cfg.lambdaCodeFloat(effectiveEnergy, u.T)
+}
+
+// SampleTTF draws one time-to-fluorescence for an integer decay-rate code,
+// returning the time bin (1-based) and whether the RET network fired within
+// the detection window. Exposed for the Fig. 7 probability-ratio experiment
+// and the cycle-level simulator.
+func (u *Unit) SampleTTF(code int) (bin int, fired bool) {
+	if code <= 0 {
+		return 0, false
+	}
+	t := rng.Exponential(u.src, float64(code)*u.lambda0)
+	b := int(math.Ceil(t))
+	if b < 1 {
+		b = 1
+	}
+	if b > u.tmax {
+		return 0, false
+	}
+	return b, true
+}
+
+// SampleTTFBounded is SampleTTF with the paper's functional-simulator
+// truncation semantic (Sec. III-C-3): a TTF beyond the detection window is
+// numerically rounded to t_max instead of treated as "never fired". Codes
+// <= 0 still never fire. The Fig. 7 probability-ratio experiment uses this
+// variant; with the never-fires semantic the truncation cancels exactly out
+// of two-label win ratios and the right side of the paper's U-shape cannot
+// be observed.
+func (u *Unit) SampleTTFBounded(code int) (bin int, fired bool) {
+	if code <= 0 {
+		return 0, false
+	}
+	bin, fired = u.SampleTTF(code)
+	if !fired {
+		return u.tmax, true
+	}
+	return bin, true
+}
+
+// Sample runs the full RSU-G pipeline for one random variable: quantize the
+// candidate energies, convert to decay-rate codes, draw TTF samples and
+// return the first label to fire. If no label fires within the detection
+// window (all cut off or all truncated) the variable keeps its current
+// label, mirroring hardware where no SPAD pulse arrives.
+func (u *Unit) Sample(energies []float64, current int) int {
+	m := len(energies)
+	if m == 0 {
+		panic("core: Sample requires at least one label")
+	}
+	u.stats.Evaluations++
+	u.stats.LabelEvals += m
+
+	// Stage 1: energy quantization.
+	if cap(u.effBuf) < m {
+		u.effBuf = make([]float64, m)
+		u.codeBuf = make([]int, m)
+		u.rateBuf = make([]float64, m)
+		u.binBuf = make([]int, m)
+	}
+	eff := u.effBuf[:m]
+	if u.cfg.EnergyBits > 0 {
+		for i, e := range energies {
+			eff[i] = float64(u.equant.Encode(e)) * u.estep
+		}
+	} else {
+		copy(eff, energies)
+	}
+
+	// Stage 2a: decay-rate scaling (E' = E - E_min), the FIFO-decoupled
+	// subtraction in the new microarchitecture.
+	if u.cfg.scalesEnergy() {
+		min := eff[0]
+		for _, e := range eff[1:] {
+			if e < min {
+				min = e
+			}
+		}
+		for i := range eff {
+			eff[i] -= min
+		}
+	}
+
+	// Float-lambda, continuous-time reference path: exact competing
+	// exponentials, equivalent to categorical sampling with p ∝ e^(-E'/T).
+	if u.cfg.LambdaBits <= 0 && u.cfg.TimeBits <= 0 {
+		return u.sampleContinuousFloat(eff, current)
+	}
+
+	// Float lambda, binned time: rates relative to lambda_0 with the
+	// maximum (E' = 0) mapping to the full-scale rate.
+	if u.cfg.LambdaBits <= 0 {
+		return u.sampleBinnedFloat(eff, current)
+	}
+
+	// Stage 2b: energy-to-lambda conversion.
+	codes := u.codeBuf[:m]
+	for i, e := range eff {
+		var c int
+		if u.cfg.EnergyBits > 0 {
+			c = u.conv.Code(int(math.Round(e / u.estep)))
+		} else {
+			c = u.cfg.lambdaCodeFloat(e, u.T)
+		}
+		if c == 0 {
+			u.stats.Cutoffs++
+		}
+		codes[i] = c
+	}
+
+	// Stage 3+4: sampling and selection.
+	if u.cfg.TimeBits <= 0 {
+		// Integer lambda, continuous time (the paper's intermediate
+		// evaluation step): competing exponentials with rates = codes.
+		rates := u.rateBuf[:m]
+		for i, c := range codes {
+			rates[i] = float64(c)
+		}
+		return u.sampleContinuousRates(rates, current)
+	}
+	return u.sampleBinnedCodes(codes, current)
+}
+
+func (u *Unit) sampleContinuousFloat(eff []float64, current int) int {
+	rates := u.rateBuf[:len(eff)]
+	for i, e := range eff {
+		rates[i] = math.Exp(-e / u.T)
+	}
+	return u.sampleContinuousRates(rates, current)
+}
+
+// sampleContinuousRates picks the minimum of competing exponentials with the
+// given rates; zero-rate labels never fire.
+func (u *Unit) sampleContinuousRates(rates []float64, current int) int {
+	best := -1
+	bestT := math.Inf(1)
+	for i, r := range rates {
+		if r <= 0 {
+			continue
+		}
+		t := rng.Exponential(u.src, r)
+		if t < bestT {
+			bestT = t
+			best = i
+		}
+	}
+	if best < 0 {
+		u.stats.NoFire++
+		return current
+	}
+	return best
+}
+
+func (u *Unit) sampleBinnedFloat(eff []float64, current int) int {
+	maxRate := -math.Log(u.cfg.Truncation) / float64(u.tmax) * u.lambdaFloatFullScale()
+	bins := u.binBuf[:len(eff)]
+	for i, e := range eff {
+		rate := math.Exp(-e/u.T) * maxRate
+		bins[i] = u.drawBin(rate, i)
+	}
+	return u.selectBin(bins, current)
+}
+
+// lambdaFloatFullScale maps the float-lambda maximum (1.0 at E'=0) onto the
+// same dynamic range an 8-code integer design would use, so float-lambda +
+// binned-time ablations remain comparable to the integer design points.
+func (u *Unit) lambdaFloatFullScale() float64 { return 8 }
+
+func (u *Unit) sampleBinnedCodes(codes []int, current int) int {
+	bins := u.binBuf[:len(codes)]
+	for i, c := range codes {
+		if c <= 0 {
+			bins[i] = 0
+			continue
+		}
+		bins[i] = u.drawBin(float64(c)*u.lambda0, i)
+	}
+	return u.selectBin(bins, current)
+}
+
+// drawBin samples one exponential TTF at the given absolute rate and returns
+// its 1-based time bin, or 0 if it truncates past the window.
+func (u *Unit) drawBin(rate float64, _ int) int {
+	t := rng.Exponential(u.src, rate)
+	b := int(math.Ceil(t))
+	if b < 1 {
+		b = 1
+	}
+	if b > u.tmax {
+		u.stats.Truncated++
+		return 0
+	}
+	return b
+}
+
+// selectBin implements the selection stage: smallest bin wins; bin 0 means
+// "did not fire". Ties follow the configured policy.
+func (u *Unit) selectBin(bins []int, current int) int {
+	best := -1
+	bestBin := math.MaxInt
+	tied := 1
+	sawTie := false
+	for i, b := range bins {
+		if b == 0 {
+			continue
+		}
+		switch {
+		case b < bestBin:
+			bestBin = b
+			best = i
+			tied = 1
+		case b == bestBin:
+			sawTie = true
+			if u.cfg.Tie == TieRandom {
+				tied++
+				if rng.Intn(u.src, tied) == 0 {
+					best = i
+				}
+			}
+		}
+	}
+	if best < 0 {
+		u.stats.NoFire++
+		return current
+	}
+	if sawTie {
+		u.stats.Ties++
+	}
+	return best
+}

@@ -1,0 +1,149 @@
+// Package energy models the RSU-G's energy-computation stage as the
+// integer datapath it really is (Fig. 10, Sec. IV-B-1): a label-value LUT
+// (the "LUT" block of Table III), combinational distance logic supporting
+// the squared, absolute and binary distances, fixed-point weights and a
+// saturating 8-bit accumulator. The MRF solver computes float energies for
+// flexibility; this package provides the hardware-faithful equivalent and
+// the tests prove the two agree, closing the loop between the algorithmic
+// model and the synthesized datapath.
+package energy
+
+import "fmt"
+
+// Op selects the distance operation the datapath applies (the architectural
+// configuration interface the new design adds).
+type Op int
+
+const (
+	// Squared distance (motion estimation).
+	Squared Op = iota
+	// Absolute distance (stereo vision).
+	Absolute
+	// Binary (Potts) distance (segmentation).
+	Binary
+)
+
+func (o Op) String() string {
+	switch o {
+	case Squared:
+		return "squared"
+	case Absolute:
+		return "absolute"
+	case Binary:
+		return "binary"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// MaxEnergy is the saturating accumulator ceiling (8-bit datapath).
+const MaxEnergy = 255
+
+// Datapath is one configured energy stage.
+type Datapath struct {
+	// LabelValues maps label indices to application values (disparities,
+	// gray levels, packed motion components) — the 64-entry LUT.
+	LabelValues []int
+	// Op is the doubleton distance operation.
+	Op Op
+	// SmoothWeight scales the doubleton distance (integer weight).
+	SmoothWeight int
+	// SmoothCap truncates the doubleton distance before weighting; 0
+	// disables truncation.
+	SmoothCap int
+}
+
+// Validate reports configuration errors, including a worst-case bit-width
+// audit: the weighted doubleton sum of 4 neighbors must not be forced into
+// permanent saturation.
+func (d *Datapath) Validate() error {
+	if len(d.LabelValues) < 2 {
+		return fmt.Errorf("energy: need at least 2 label values")
+	}
+	if len(d.LabelValues) > 64 {
+		return fmt.Errorf("energy: at most 64 labels (6-bit label datapath)")
+	}
+	if d.SmoothWeight < 0 || d.SmoothCap < 0 {
+		return fmt.Errorf("energy: negative weight or cap")
+	}
+	for _, v := range d.LabelValues {
+		if v < 0 || v > MaxEnergy {
+			return fmt.Errorf("energy: label value %d outside 8-bit range", v)
+		}
+	}
+	return nil
+}
+
+// distance computes the raw (untruncated) distance between two label
+// values.
+func (d *Datapath) distance(a, b int) int {
+	switch d.Op {
+	case Squared:
+		v := a - b
+		return v * v
+	case Absolute:
+		if a > b {
+			return a - b
+		}
+		return b - a
+	case Binary:
+		if a == b {
+			return 0
+		}
+		return 1
+	default:
+		panic("energy: unknown op")
+	}
+}
+
+// Doubleton returns the weighted, truncated distance between two labels.
+func (d *Datapath) Doubleton(l1, l2 int) int {
+	dist := d.distance(d.LabelValues[l1], d.LabelValues[l2])
+	if d.SmoothCap > 0 && dist > d.SmoothCap {
+		dist = d.SmoothCap
+	}
+	return d.SmoothWeight * dist
+}
+
+// Energy accumulates the singleton (already an 8-bit integer from the data
+// path's front end) and the doubleton terms for up to four neighbors,
+// saturating at MaxEnergy, exactly as the adder tree does.
+func (d *Datapath) Energy(singleton int, label int, neighbors []int) int {
+	if singleton < 0 {
+		singleton = 0
+	}
+	e := singleton
+	for _, nl := range neighbors {
+		e += d.Doubleton(label, nl)
+		if e >= MaxEnergy {
+			return MaxEnergy
+		}
+	}
+	if e > MaxEnergy {
+		e = MaxEnergy
+	}
+	return e
+}
+
+// WorstCase returns the largest energy any input combination can produce
+// before saturation, for bit-width audits.
+func (d *Datapath) WorstCase(maxSingleton, maxNeighbors int) int {
+	lo, hi := d.LabelValues[0], d.LabelValues[0]
+	for _, v := range d.LabelValues {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	worst := d.distance(lo, hi)
+	if d.SmoothCap > 0 && worst > d.SmoothCap {
+		worst = d.SmoothCap
+	}
+	total := maxSingleton + maxNeighbors*d.SmoothWeight*worst
+	if total > MaxEnergy {
+		total = MaxEnergy
+	}
+	return total
+}

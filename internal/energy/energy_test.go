@@ -1,0 +1,130 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rsu/internal/mrf"
+)
+
+func seqLabels(n int) []int {
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = i
+	}
+	return vs
+}
+
+func TestValidate(t *testing.T) {
+	good := &Datapath{LabelValues: seqLabels(56), Op: Absolute, SmoothWeight: 8, SmoothCap: 6}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Datapath{
+		{LabelValues: seqLabels(1)},
+		{LabelValues: seqLabels(65)},
+		{LabelValues: []int{0, 300}},
+		{LabelValues: seqLabels(4), SmoothWeight: -1},
+	}
+	for i, d := range bad {
+		if d.Validate() == nil {
+			t.Errorf("datapath %d unexpectedly valid", i)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Squared.String() != "squared" || Absolute.String() != "absolute" || Binary.String() != "binary" {
+		t.Fatal("Op.String wrong")
+	}
+}
+
+func TestDoubletonMatchesMRFDistances(t *testing.T) {
+	// The integer datapath must agree exactly with the float MRF layer for
+	// integer label values, across all three distance operations.
+	pairs := []struct {
+		op   Op
+		kind mrf.DistanceKind
+	}{
+		{Squared, mrf.Squared}, {Absolute, mrf.Absolute}, {Binary, mrf.Binary},
+	}
+	for _, p := range pairs {
+		d := &Datapath{LabelValues: seqLabels(64), Op: p.op, SmoothWeight: 3, SmoothCap: 9}
+		err := quick.Check(func(a8, b8 uint8) bool {
+			a, b := int(a8%64), int(b8%64)
+			fd := mrf.Distance(p.kind, a, b)
+			if fd > 9 {
+				fd = 9
+			}
+			return d.Doubleton(a, b) == int(3*fd)
+		}, &quick.Config{MaxCount: 1000})
+		if err != nil {
+			t.Errorf("%v: %v", p.op, err)
+		}
+	}
+}
+
+func TestEnergySaturates(t *testing.T) {
+	d := &Datapath{LabelValues: seqLabels(64), Op: Squared, SmoothWeight: 10}
+	// Distance (0 vs 63)^2 * 10 blows way past 255: must clamp, not wrap.
+	if got := d.Energy(0, 0, []int{63, 63, 63, 63}); got != MaxEnergy {
+		t.Fatalf("saturating energy = %d, want %d", got, MaxEnergy)
+	}
+	if got := d.Energy(300, 0, nil); got != MaxEnergy {
+		t.Fatalf("oversized singleton = %d, want clamp to %d", got, MaxEnergy)
+	}
+	if got := d.Energy(-5, 0, nil); got != 0 {
+		t.Fatalf("negative singleton = %d, want clamp to 0", got)
+	}
+}
+
+func TestEnergyMatchesFloatPipeline(t *testing.T) {
+	// Stereo-style configuration: the integer stage must reproduce the
+	// float computation exactly when weights and values are integers and
+	// nothing saturates.
+	d := &Datapath{LabelValues: seqLabels(30), Op: Absolute, SmoothWeight: 8, SmoothCap: 6}
+	err := quick.Check(func(s8, l8, n1, n2, n3, n4 uint8) bool {
+		singleton := int(s8 % 60)
+		label := int(l8 % 30)
+		neighbors := []int{int(n1 % 30), int(n2 % 30), int(n3 % 30), int(n4 % 30)}
+		var want float64
+		want = float64(singleton)
+		for _, nl := range neighbors {
+			fd := mrf.Distance(mrf.Absolute, label, nl)
+			if fd > 6 {
+				fd = 6
+			}
+			want += 8 * fd
+		}
+		if want > MaxEnergy {
+			want = MaxEnergy
+		}
+		return d.Energy(singleton, label, neighbors) == int(want)
+	}, &quick.Config{MaxCount: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorstCaseAudit(t *testing.T) {
+	// The repository's stereo defaults must pass the bit-width audit:
+	// 60 singleton + 4 * 8 * 6 = 252 <= 255.
+	d := &Datapath{LabelValues: seqLabels(56), Op: Absolute, SmoothWeight: 8, SmoothCap: 6}
+	if got := d.WorstCase(60, 4); got != 252 {
+		t.Fatalf("stereo worst case = %d, want 252", got)
+	}
+	// An untruncated squared datapath overflows and must report the clamp.
+	hot := &Datapath{LabelValues: seqLabels(64), Op: Squared, SmoothWeight: 4}
+	if got := hot.WorstCase(60, 4); got != MaxEnergy {
+		t.Fatalf("overflowing worst case = %d, want %d", got, MaxEnergy)
+	}
+}
+
+func TestNonUniformLabelValues(t *testing.T) {
+	// Motion labels map to packed vector magnitudes; values need not be
+	// the identity. Distances follow the stored values.
+	d := &Datapath{LabelValues: []int{0, 10, 40}, Op: Absolute, SmoothWeight: 1}
+	if got := d.Doubleton(1, 2); got != 30 {
+		t.Fatalf("Doubleton over custom values = %d, want 30", got)
+	}
+}

@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// fast returns options that keep driver tests quick while preserving the
+// qualitative shapes the assertions check.
+func fast(iterScale float64) Options {
+	return Options{Seed: 7, Scale: 1, IterScale: iterScale}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	reg := Registry()
+	if len(reg) < 16 {
+		t.Fatalf("registry has %d experiments, want >= 16 (all tables+figures)", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, r := range reg {
+		if seen[r.ID] {
+			t.Errorf("duplicate id %q", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil || r.Title == "" {
+			t.Errorf("experiment %q incomplete", r.ID)
+		}
+	}
+	for _, id := range []string{"fig3", "fig5a", "fig7", "fig8", "fig9a", "fig9c", "fig9d", "table1", "table2", "table3", "table4"} {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%q) failed", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of unknown id succeeded")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r, err := Fig3(fast(0.12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Datasets) != 3 {
+		t.Fatalf("want 3 datasets, got %d", len(r.Datasets))
+	}
+	for i := range r.Datasets {
+		if r.PrevRSUG[i] < r.Software[i]+25 {
+			t.Errorf("%s: prev BP %.1f not far above software %.1f", r.Datasets[i], r.PrevRSUG[i], r.Software[i])
+		}
+	}
+	if !strings.Contains(r.String(), "prev-RSUG") {
+		t.Error("rendering missing column")
+	}
+}
+
+func TestFig4WritesFiles(t *testing.T) {
+	o := fast(0.05)
+	o.OutDir = t.TempDir()
+	r, err := Fig4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Files) != 4 {
+		t.Fatalf("want 4 PGMs, got %d", len(r.Files))
+	}
+	for _, f := range r.Files {
+		if _, err := os.Stat(f); err != nil {
+			t.Errorf("missing output %s: %v", f, err)
+		}
+	}
+}
+
+func TestFig4NoOutDir(t *testing.T) {
+	r, err := Fig4(fast(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Files) != 0 {
+		t.Fatal("files written without OutDir")
+	}
+	if !strings.Contains(r.String(), "no output directory") {
+		t.Error("rendering should mention missing out dir")
+	}
+}
+
+func TestEnergyBitsShape(t *testing.T) {
+	r, err := EnergyBits(fast(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8-bit column must track the float reference far better than 4-bit.
+	for i := range r.Datasets {
+		e4 := r.BP[i][0]
+		e8 := r.BP[i][len(r.Bits)-1]
+		ref := r.FloatRef[i]
+		if e8 > ref+8 {
+			t.Errorf("%s: 8-bit BP %.1f too far above float %.1f", r.Datasets[i], e8, ref)
+		}
+		// At the shortened test schedule the 4-vs-8-bit ordering is noisy;
+		// only flag a clear inversion (the full run in EXPERIMENTS.md shows
+		// the monotone degradation).
+		if e4 < e8-10 {
+			t.Errorf("%s: 4-bit BP %.1f should not clearly beat 8-bit %.1f", r.Datasets[i], e4, e8)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	o := fast(1)
+	o.IterScale = 0.05 // 50k samples per point
+	r, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.RelErr) != len(r.Truncations) {
+		t.Fatal("row count mismatch")
+	}
+	// Ratio 1 must be essentially error-free at any truncation.
+	for i := range r.Truncations {
+		if r.RelErr[i][0] > 0.05 {
+			t.Errorf("ratio-1 error %.3f at truncation %v", r.RelErr[i][0], r.Truncations[i])
+		}
+	}
+	// The paper's U shape for ratio 8: mid-truncation beats both extremes.
+	idx := func(tr float64) int {
+		for i, v := range r.Truncations {
+			if v == tr {
+				return i
+			}
+		}
+		t.Fatalf("truncation %v not swept", tr)
+		return -1
+	}
+	last := len(r.Ratios) - 1
+	lo, mid, hi := r.RelErr[idx(0.01)][last], r.RelErr[idx(0.4)][last], r.RelErr[idx(0.9)][last]
+	if !(mid < lo && mid < hi) {
+		t.Errorf("ratio-8 error not U-shaped: lo=%.3f mid=%.3f hi=%.3f", lo, mid, hi)
+	}
+}
+
+func TestTable2Values(t *testing.T) {
+	r, err := Table2(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Model) != 4 || len(r.Paper) != 4 {
+		t.Fatal("Table II must have 4 configurations")
+	}
+	for i := range r.Model {
+		if r.Model[i].SpeedupFloat < 2.5 {
+			t.Errorf("config %d speedup %.2f too low", i, r.Model[i].SpeedupFloat)
+		}
+	}
+	if !strings.Contains(r.String(), "(paper)") {
+		t.Error("rendering must include paper rows")
+	}
+}
+
+func TestTable3Values(t *testing.T) {
+	r, err := Table3(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ratio < 1.25 || r.Ratio > 1.30 {
+		t.Errorf("power ratio %.3f, want ~1.27", r.Ratio)
+	}
+	s := r.String()
+	for _, want := range []string{"RET Circuit", "CMOS Circuitry", "LUT", "RSU Total", "2903", "4.99"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+}
+
+func TestTable4Values(t *testing.T) {
+	r, err := Table4(fast(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TrueRNG["RSUG_noshare"] != 2903 {
+		t.Errorf("RSUG_noshare = %v", r.TrueRNG["RSUG_noshare"])
+	}
+	if r.PseudoRNG["mt19937_noshare"] != 19269 {
+		t.Errorf("mt19937_noshare = %v", r.PseudoRNG["mt19937_noshare"])
+	}
+	// Quality parity: every RNG substrate lands in the same quality band.
+	ref := r.QualityBP["xoshiro256 (ref)"]
+	for name, bp := range r.QualityBP {
+		if bp > ref+12 || bp < ref-12 {
+			t.Errorf("%s BP %.1f far from reference %.1f", name, bp, ref)
+		}
+	}
+}
+
+func TestAblateConverterAgrees(t *testing.T) {
+	r, err := AblateConverter(fast(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.AgreeAllCodes {
+		t.Error("LUT and boundary converters disagree")
+	}
+	if r.LUTBP != r.BoundaryBP {
+		t.Errorf("same seed must give identical solves: %v vs %v", r.LUTBP, r.BoundaryBP)
+	}
+	if r.LUTBits != 1024 || r.BoundaryBits != 32 {
+		t.Errorf("memory bits %d/%d, want 1024/32", r.LUTBits, r.BoundaryBits)
+	}
+}
+
+func TestAblatePipelineClaims(t *testing.T) {
+	r, err := AblatePipeline(Options{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Prev.ThroughputCPL > 1.05 || r.New.ThroughputCPL > 1.05 {
+		t.Errorf("replicated pipelines must sustain ~1 cycle/label: %v / %v",
+			r.Prev.ThroughputCPL, r.New.ThroughputCPL)
+	}
+	if r.PrevNoRep.ThroughputCPL < 3 {
+		t.Errorf("unreplicated pipeline should stall to ~4 cycles/label, got %v", r.PrevNoRep.ThroughputCPL)
+	}
+	if r.PrevUpdate == 0 || r.NewUnbuf != 3 {
+		t.Errorf("temperature stalls prev=%d newUnbuf=%d, want >0 and 3", r.PrevUpdate, r.NewUnbuf)
+	}
+}
+
+func TestAblateDeviceAgreement(t *testing.T) {
+	r, err := AblateDevice(fast(0.12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := r.MachineBP - r.UnitBP
+	if diff < -15 || diff > 15 {
+		t.Errorf("device machine BP %.1f vs unit %.1f diverge too much", r.MachineBP, r.UnitBP)
+	}
+	if r.BleedRate > 0.01 {
+		t.Errorf("bleed-through %.4f above design target", r.BleedRate)
+	}
+}
+
+func TestOptionsHelpers(t *testing.T) {
+	o := Options{}
+	if o.scale() != 1 {
+		t.Error("zero Scale must default to 1")
+	}
+	if o.iters(100) != 100 {
+		t.Error("zero IterScale must default to identity")
+	}
+	o.IterScale = 0.001
+	if o.iters(100) != 1 {
+		t.Error("iters must floor at 1")
+	}
+	a, b := Options{Seed: 1}.subSeed("x"), Options{Seed: 1}.subSeed("y")
+	if a == b {
+		t.Error("subSeed must differ across tags")
+	}
+	if (Options{Seed: 1}).subSeed("x") != a {
+		t.Error("subSeed must be deterministic")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &table{title: "T", columns: []string{"a", "b"}, prec: 1}
+	tb.add("row", 1.25, 3.75)
+	tb.notes = append(tb.notes, "n")
+	s := tb.String()
+	for _, want := range []string{"T", "a", "b", "row", "1.2", "3.8", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table rendering missing %q in %q", want, s)
+		}
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 || s != 2 {
+		t.Errorf("meanStd = %v, %v; want 5, 2", m, s)
+	}
+	if m, s = meanStd(nil); m != 0 || s != 0 {
+		t.Error("empty meanStd must be 0,0")
+	}
+}
+
+// TestRegistrySmoke runs every registered experiment end to end on a
+// minimal schedule: no driver may error, and every result must render.
+func TestRegistrySmoke(t *testing.T) {
+	o := Options{Seed: 3, Scale: 1, IterScale: 0.02, OutDir: t.TempDir()}
+	for _, r := range Registry() {
+		res, err := r.Run(o)
+		if err != nil {
+			t.Errorf("%s: %v", r.ID, err)
+			continue
+		}
+		if s := res.String(); len(s) < 20 {
+			t.Errorf("%s: suspiciously short rendering %q", r.ID, s)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAcceleratorClaims(t *testing.T) {
+	r, err := Accelerator(fast(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+		tol       float64
+	}{
+		{"aug segmentation", r.AugSeg, 3, 0.2},
+		{"aug motion", r.AugMotion, 16, 0.5},
+		{"discrete segmentation", r.DiscSeg, 21, 1},
+		{"discrete motion", r.DiscMotion, 54, 2},
+	}
+	for _, c := range checks {
+		if c.got < c.want-c.tol || c.got > c.want+c.tol {
+			t.Errorf("%s speedup %.2f, want %.1f±%.1f", c.name, c.got, c.want, c.tol)
+		}
+	}
+	if r.SatUnitsSeg >= r.SatUnitsMotion {
+		t.Error("segmentation must hit the bandwidth wall before motion")
+	}
+	// Parallel Gibbs must track sequential quality.
+	if diff := r.ParallelBP - r.SequentialBP; diff > 12 || diff < -12 {
+		t.Errorf("parallel BP %.1f vs sequential %.1f diverge", r.ParallelBP, r.SequentialBP)
+	}
+	if !strings.Contains(r.String(), "memory bound") {
+		t.Error("rendering must flag memory-bound points")
+	}
+}
+
+func TestBarkerExperiment(t *testing.T) {
+	o := fast(0.06)
+	r, err := Barker(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same sweeps: Barker mixes slower, so it should not beat Gibbs by a
+	// wide margin; work-matched it should close most of the gap.
+	if r.BarkerBP < r.GibbsBP-10 {
+		t.Errorf("Barker (same sweeps) BP %.1f implausibly beats Gibbs %.1f", r.BarkerBP, r.GibbsBP)
+	}
+	if r.BarkerWorkMatchedBP > r.BarkerBP+5 {
+		t.Errorf("work-matched Barker BP %.1f should improve on sweeps-matched %.1f",
+			r.BarkerWorkMatchedBP, r.BarkerBP)
+	}
+	if r.ExtraSweepFactor < 2 {
+		t.Errorf("extra sweep factor %d too small", r.ExtraSweepFactor)
+	}
+}
+
+func TestPhaseTypeExperiment(t *testing.T) {
+	o := fast(1)
+	o.IterScale = 0.1 // 20k samples per cascade
+	r, err := PhaseType(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CV must shrink monotonically with stage count.
+	for i := 1; i < len(r.Stages); i++ {
+		if r.MeasuredCV[i] >= r.MeasuredCV[i-1] {
+			t.Errorf("CV did not shrink from k=%d to k=%d: %v -> %v",
+				r.Stages[i-1], r.Stages[i], r.MeasuredCV[i-1], r.MeasuredCV[i])
+		}
+	}
+	// Truncation pulls the measured mean below ideal at every k.
+	for i := range r.Stages {
+		if r.MeasuredMean[i] >= r.IdealMean[i] {
+			t.Errorf("k=%d: measured mean %v not below ideal %v", r.Stages[i], r.MeasuredMean[i], r.IdealMean[i])
+		}
+	}
+}
+
+func TestPyramidExperiment(t *testing.T) {
+	r, err := Pyramid(fast(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PyramidEPE >= r.SingleEPE {
+		t.Errorf("pyramid EPE %.3f should beat single-level %.3f", r.PyramidEPE, r.SingleEPE)
+	}
+	if r.PyramidRSUGEPE >= r.SingleEPE {
+		t.Errorf("RSU-G pyramid EPE %.3f should beat single-level %.3f", r.PyramidRSUGEPE, r.SingleEPE)
+	}
+}
+
+func TestBleachingExperiment(t *testing.T) {
+	r, err := Bleaching(fast(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.YieldNoMitig >= r.YieldRotated {
+		t.Errorf("unmitigated yield %.3f should be below rotated %.3f", r.YieldNoMitig, r.YieldRotated)
+	}
+	if r.TruncNoMitig <= r.TruncRotated {
+		t.Errorf("unmitigated truncation %.3f should exceed rotated %.3f", r.TruncNoMitig, r.TruncRotated)
+	}
+	if r.TruncRotated < 0.45 || r.TruncRotated > 0.60 {
+		t.Errorf("rotated truncation %.3f should stay near the 0.5 design point", r.TruncRotated)
+	}
+}
+
+func TestForsterExperiment(t *testing.T) {
+	o := fast(1)
+	o.IterScale = 0.3
+	r, err := Forster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := r.PairEffMC - r.PairEffTheory; d > 0.02 || d < -0.02 {
+		t.Errorf("pair efficiency MC %.4f vs theory %.4f", r.PairEffMC, r.PairEffTheory)
+	}
+	if r.KSp < 1e-4 {
+		t.Errorf("first-photon exponentiality rejected: p = %v", r.KSp)
+	}
+	for name, ratio := range map[string]float64{"concentration": r.ConcRatio, "intensity": r.IntRatio} {
+		if ratio < 1.8 || ratio > 2.25 {
+			t.Errorf("%s rate ratio %.3f, want ~2", name, ratio)
+		}
+	}
+}
+
+func TestMixingExperiment(t *testing.T) {
+	r, err := Mixing(fast(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Samplers) != 3 {
+		t.Fatalf("want 3 samplers, got %d", len(r.Samplers))
+	}
+	for i, tau := range r.Tau {
+		if tau < 1 {
+			t.Errorf("%s: tau %.2f below 1", r.Samplers[i], tau)
+		}
+		if r.ESS[i] <= 0 {
+			t.Errorf("%s: non-positive ESS", r.Samplers[i])
+		}
+	}
+	// Barker (index 2) must mix no faster than the Gibbs samplers.
+	if r.Tau[2] < r.Tau[1]*0.7 {
+		t.Errorf("Barker tau %.2f implausibly below Gibbs %.2f", r.Tau[2], r.Tau[1])
+	}
+	// At the shortened test schedule each chain holds only a handful of
+	// effective samples, so R-hat is noisy; the full run converges to
+	// ~1.07. Only flag gross divergence here.
+	if r.RHat > 2.5 {
+		t.Errorf("R-hat %.3f indicates divergent chains", r.RHat)
+	}
+}
+
+func TestParetoExperiment(t *testing.T) {
+	r, err := Pareto(fast(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.BP) != len(r.Points) || len(r.Points) != 5 {
+		t.Fatalf("want 5 scored points, got %d/%d", len(r.BP), len(r.Points))
+	}
+	// Equal-quality diagonal: no point should collapse the way an
+	// off-diagonal corner does (>60 BP), and the chosen point must be
+	// within the band.
+	for i, bp := range r.BP {
+		if bp > 60 {
+			t.Errorf("diagonal point %+v degenerated to BP %.1f", r.Points[i], bp)
+		}
+	}
+	// The chosen point (index 2) is the relative-cost reference.
+	if r.Points[2].RelArea != 1 {
+		t.Error("chosen point must normalize relative cost")
+	}
+}
+
+func TestRNGBatteryExperiment(t *testing.T) {
+	r, err := RNGBattery(fast(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Reports) != 4 {
+		t.Fatalf("want 4 generator reports, got %d", len(r.Reports))
+	}
+	for _, rep := range r.Reports {
+		if rep.MonobitP < 1e-4 || rep.RunsP < 1e-4 {
+			t.Errorf("%s fails short-range tests: monobit %v runs %v", rep.Name, rep.MonobitP, rep.RunsP)
+		}
+	}
+	if r.LFSRPeriod != 1<<19-1 {
+		t.Errorf("LFSR period %d, want %d", r.LFSRPeriod, 1<<19-1)
+	}
+}
+
+func TestIsingExperiment(t *testing.T) {
+	o := fast(0.35)
+	r, err := Ising(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := func(T float64) int {
+		for i, v := range r.Temperatures {
+			if v == T {
+				return i
+			}
+		}
+		t.Fatalf("temperature %v not swept", T)
+		return -1
+	}
+	// Software and L7 order at 1.6 and disorder at 4.8.
+	for _, curve := range [][]float64{r.Software, r.L7} {
+		if curve[idx(1.6)] < 0.7 {
+			t.Errorf("cold point not ordered: %v", curve[idx(1.6)])
+		}
+		if curve[idx(4.8)] > 0.3 {
+			t.Errorf("hot point not disordered: %v", curve[idx(4.8)])
+		}
+	}
+	// The L4 cut-off freezes the ordered phase just above Tc.
+	if r.L4[idx(2.8)] < 0.7 {
+		t.Errorf("L4 at T=2.8 should stay frozen, got %v", r.L4[idx(2.8)])
+	}
+	if r.Software[idx(2.8)] > 0.5 {
+		t.Errorf("software at T=2.8 should be disordered, got %v", r.Software[idx(2.8)])
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rsu/internal/core"
+	"rsu/internal/hw"
+	"rsu/internal/synth"
+)
+
+// ParetoResult pairs each Fig. 8 diagonal design point with its measured
+// quality and modeled optical cost — the full-implementation synthesis the
+// paper's Sec. IV-B-6 says is needed to pick the optimal point.
+type ParetoResult struct {
+	Points []hw.DesignPoint
+	BP     []float64
+	SWBP   float64
+}
+
+// Pareto evaluates the equal-quality diagonal: each (Time_bits, Truncation)
+// point is solved on poster (deterministic comparator, as in Fig. 8) and
+// priced with the replica sizing rules. The paper's chosen point (T5, 0.5)
+// should sit at the cost knee with no quality penalty.
+func Pareto(o Options) (*ParetoResult, error) {
+	res := &ParetoResult{Points: hw.DiagonalPoints()}
+	pair := synth.Poster(o.scale())
+	sw, err := runStereoWith(o, pair, nil, "pareto-sw-")
+	if err != nil {
+		return nil, err
+	}
+	res.SWBP = sw.BP
+	for _, pt := range res.Points {
+		cfg := core.Config{
+			Name:       fmt.Sprintf("pareto-T%d-%.2f", pt.TimeBits, pt.Truncation),
+			EnergyBits: 8, EnergyMax: 255,
+			LambdaBits: 4, Mode: core.ConvertScaledCutoffPow2,
+			TimeBits: pt.TimeBits, Truncation: pt.Truncation,
+			Tie: core.TieFirstWins,
+		}
+		r, err := runStereoWith(o, pair, &cfg, cfg.Name)
+		if err != nil {
+			return nil, err
+		}
+		res.BP = append(res.BP, r.BP)
+	}
+	return res, nil
+}
+
+func (r *ParetoResult) String() string {
+	var b strings.Builder
+	b.WriteString("Extension: cost/quality synthesis along the Fig. 8 diagonal\n")
+	fmt.Fprintf(&b, "  %-10s %9s %6s %12s %10s %9s %9s %8s\n",
+		"point", "circuits", "rows", "area(um^2)", "power(mW)", "relArea", "relPower", "BP%")
+	for i, pt := range r.Points {
+		fmt.Fprintf(&b, "  T%d/%-7.2f %9d %6d %12.0f %10.2f %9.2f %9.2f %8.1f\n",
+			pt.TimeBits, pt.Truncation, pt.Circuits, pt.Rows,
+			pt.Cost.AreaUm2, pt.Cost.PowerMW, pt.RelArea, pt.RelPower, r.BP[i])
+	}
+	fmt.Fprintf(&b, "  software reference BP %.1f\n", r.SWBP)
+	b.WriteString("note: quality is comparable along the diagonal while optical cost varies;\n")
+	b.WriteString("the paper's (T5, 0.5) sits at the cost knee (Sec. IV-B-6)\n")
+	return b.String()
+}

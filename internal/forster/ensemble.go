@@ -1,0 +1,164 @@
+package forster
+
+import (
+	"fmt"
+	"math"
+
+	"rsu/internal/rng"
+)
+
+// Ensemble models a RET circuit's molecular layer: Copies identical,
+// non-interacting networks under a pump of the given intensity. Each copy
+// absorbs a pump photon at rate Intensity x AbsorbCross per input
+// chromophore; the absorbed exciton then transports through the copy. The
+// SPAD sees the *first* detected photon across all copies — which is the
+// first-to-fire primitive, and whose time is (approximately, exactly in the
+// absorption-limited regime) exponential with rate
+//
+//	lambda ≈ Copies x inputs x Intensity x AbsorbCross x efficiency,
+//
+// i.e. linear in both concentration (Copies) and intensity — the two
+// decay-rate knobs of the new and previous RSU-G designs respectively.
+type Ensemble struct {
+	Net *Network
+	// Copies is the number of network copies in the excitation volume
+	// (proportional to chromophore concentration).
+	Copies int
+	// Intensity is the pump drive (relative units).
+	Intensity float64
+	// AbsorbCross is the absorption rate per unit intensity per input
+	// chromophore (1/ns at Intensity 1).
+	AbsorbCross float64
+}
+
+// Validate reports configuration errors.
+func (e *Ensemble) Validate() error {
+	if e.Net == nil {
+		return fmt.Errorf("forster: nil network")
+	}
+	if err := e.Net.Validate(); err != nil {
+		return err
+	}
+	if e.Copies < 1 || e.Intensity <= 0 || e.AbsorbCross <= 0 {
+		return fmt.Errorf("forster: need Copies >= 1, positive Intensity and AbsorbCross")
+	}
+	return nil
+}
+
+// FirstPhoton simulates one detection window of unbounded length and
+// returns the time (ns) of the first detected photon across all copies.
+// ok is false if no copy ever produces a detected photon within horizon.
+func (e *Ensemble) FirstPhoton(horizon float64, src rng.Source) (float64, bool) {
+	if err := e.Validate(); err != nil {
+		panic(err)
+	}
+	inputs := e.Net.InputIndices()
+	absRate := e.Intensity * e.AbsorbCross
+	best := math.Inf(1)
+	// Each copy absorbs pump photons as a Poisson process on each input
+	// chromophore; an absorption whose exciton fails to reach the emitter
+	// leaves the copy ready to absorb again (the pump stays on). Detected
+	// photons per copy therefore form a thinned Poisson process of rate
+	// inputs x absRate x efficiency, and the ensemble's first photon is
+	// exponential in Copies x Intensity exactly. Absorptions beyond the
+	// horizon or the current best photon cannot win and stop the copy.
+	for c := 0; c < e.Copies; c++ {
+		var t float64
+		for {
+			t += rng.Exponential(src, absRate*float64(len(inputs)))
+			if t >= best || t > horizon {
+				break
+			}
+			in := inputs[rng.Intn(src, len(inputs))]
+			out, tTrans := e.Net.Transport(in, src)
+			if out == Detected {
+				if tt := t + tTrans; tt < best {
+					best = tt
+				}
+				break
+			}
+			// Exciton lost; the copy keeps absorbing. Transport is fast
+			// next to absorption waits, so overlapping re-excitation is
+			// negligible and t simply advances past the failed attempt.
+			t += tTrans
+		}
+	}
+	if math.IsInf(best, 1) || best > horizon {
+		return 0, false
+	}
+	return best, true
+}
+
+// MeasureRate estimates the effective exponential rate of the first-photon
+// process from n windows: rate = 1 / mean(first-photon time), conditioning
+// on detection within the horizon.
+func (e *Ensemble) MeasureRate(n int, horizon float64, src rng.Source) (rate float64, detectFrac float64) {
+	var sum float64
+	hits := 0
+	for i := 0; i < n; i++ {
+		if t, ok := e.FirstPhoton(horizon, src); ok {
+			sum += t
+			hits++
+		}
+	}
+	if hits == 0 {
+		return 0, 0
+	}
+	return float64(hits) / sum, float64(hits) / float64(n)
+}
+
+// Samples draws n first-photon times (unconditioned windows are skipped),
+// for distribution tests.
+func (e *Ensemble) Samples(n int, horizon float64, src rng.Source) []float64 {
+	var xs []float64
+	for len(xs) < n {
+		if t, ok := e.FirstPhoton(horizon, src); ok {
+			xs = append(xs, t)
+		}
+	}
+	return xs
+}
+
+// TwoStageChain builds the canonical input -> relay -> emitter network used
+// by the tests and the device-validation experiment: three chromophores on
+// a line with the given spacings (nm), R0 = r0 for adjacent species pairs.
+func TwoStageChain(spacing, r0 float64) *Network {
+	return &Network{
+		Kinds: []Kind{
+			{Name: "input", EmitRate: 0.25, LossRate: 0.05, Input: true},
+			{Name: "relay", EmitRate: 0.25, LossRate: 0.05},
+			{Name: "emitter", EmitRate: 0.5, LossRate: 0.05, Detected: true},
+		},
+		Chromophores: []Chromophore{
+			{Pos: [3]float64{0, 0, 0}, Kind: 0},
+			{Pos: [3]float64{spacing, 0, 0}, Kind: 1},
+			{Pos: [3]float64{2 * spacing, 0, 0}, Kind: 2},
+		},
+		// Energy flows downhill: input->relay, relay->emitter.
+		R0: [][]float64{
+			{0, r0, 0},
+			{0, 0, r0},
+			{0, 0, 0},
+		},
+	}
+}
+
+// DonorAcceptorPair builds an isolated two-chromophore network at distance
+// r with Förster radius r0 and no non-radiative loss, matching the textbook
+// efficiency formula.
+func DonorAcceptorPair(r, r0 float64) *Network {
+	return &Network{
+		Kinds: []Kind{
+			{Name: "donor", EmitRate: 1, Input: true},
+			{Name: "acceptor", EmitRate: 1, Detected: true},
+		},
+		Chromophores: []Chromophore{
+			{Pos: [3]float64{0, 0, 0}, Kind: 0},
+			{Pos: [3]float64{r, 0, 0}, Kind: 1},
+		},
+		R0: [][]float64{
+			{0, r0},
+			{0, 0},
+		},
+	}
+}

@@ -1,0 +1,171 @@
+package forster
+
+import (
+	"math"
+	"testing"
+
+	"rsu/internal/rng"
+	"rsu/internal/stats"
+)
+
+func TestPairEfficiencyMatchesFoersterFormula(t *testing.T) {
+	src := rng.NewXoshiro256(1)
+	for _, ratio := range []float64{0.5, 0.8, 1.0, 1.3, 2.0} {
+		r0 := 5.0
+		net := DonorAcceptorPair(ratio*r0, r0)
+		got := net.TransferEfficiency(0, 200000, src)
+		want := PairEfficiencyTheory(ratio*r0, r0)
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("r/R0=%v: efficiency %v, want %v", ratio, got, want)
+		}
+	}
+}
+
+func TestPairEfficiencyHalfAtR0(t *testing.T) {
+	// The textbook anchor: E = 1/2 exactly at r = R0.
+	if got := PairEfficiencyTheory(6, 6); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("theory E(R0) = %v, want 0.5", got)
+	}
+}
+
+func TestChainEfficiencyIsProductOfStages(t *testing.T) {
+	// Two sequential hops at spacing = R0 with per-kind loss: the chain
+	// efficiency is the product of per-hop branching probabilities.
+	src := rng.NewXoshiro256(2)
+	net := TwoStageChain(5, 5)
+	if err := net.prepare(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-hop: transfer rate at r = R0 equals the donor's intrinsic decay
+	// (0.3); P(hop) = 0.3/0.6 = 0.5 on each of the two stages, and the
+	// emitter then radiates with 0.5/0.55.
+	want := 0.5 * 0.5 * (0.5 / 0.55)
+	got := net.TransferEfficiency(0, 300000, src)
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("chain efficiency %v, want %v", got, want)
+	}
+}
+
+func TestTransportOutcomesExhaustive(t *testing.T) {
+	src := rng.NewXoshiro256(3)
+	net := TwoStageChain(5, 5)
+	counts := map[Outcome]int{}
+	for i := 0; i < 50000; i++ {
+		out, dt := net.Transport(0, src)
+		if dt <= 0 {
+			t.Fatal("transport time must be positive")
+		}
+		counts[out]++
+	}
+	for _, o := range []Outcome{Detected, LostPhoton, Quenched} {
+		if counts[o] == 0 {
+			t.Errorf("outcome %d never observed", o)
+		}
+	}
+}
+
+func TestValidateRejectsBadNetworks(t *testing.T) {
+	good := DonorAcceptorPair(5, 5)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Network{
+		{},
+		{Kinds: good.Kinds, Chromophores: good.Chromophores, R0: [][]float64{{0}}},
+		{Kinds: []Kind{{Name: "x"}}, Chromophores: []Chromophore{{}}, R0: [][]float64{{0}}},
+	}
+	for i, n := range bad {
+		if n.Validate() == nil {
+			t.Errorf("network %d unexpectedly valid", i)
+		}
+	}
+	noDet := DonorAcceptorPair(5, 5)
+	noDet.Kinds[1].Detected = false
+	if noDet.Validate() == nil {
+		t.Error("network without detected kind must be invalid")
+	}
+}
+
+func TestCoincidentChromophoresRejected(t *testing.T) {
+	n := DonorAcceptorPair(0, 5)
+	if err := n.prepare(); err == nil {
+		t.Fatal("zero-distance pair must error")
+	}
+}
+
+func testEnsemble(copies int, intensity float64) *Ensemble {
+	return &Ensemble{
+		Net:       TwoStageChain(5, 5),
+		Copies:    copies,
+		Intensity: intensity,
+		// Deep absorption-limited regime: the ~5 ns transport time is
+		// negligible against the >300 ns absorption wait, so the
+		// first-photon process is exponential to measurement precision.
+		AbsorbCross: 0.0002,
+	}
+}
+
+func TestFirstPhotonExponentialInAbsorptionLimit(t *testing.T) {
+	e := testEnsemble(64, 1)
+	src := rng.NewXoshiro256(4)
+	xs := e.Samples(3000, 1e6, src)
+	rate, _ := e.MeasureRate(3000, 1e6, src)
+	res, err := stats.KSTest(xs, stats.ExponentialCDF(rate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The transport time adds a small non-exponential component; at this
+	// absorption-limited operating point it is negligible at KS scale.
+	if res.PValue < 1e-4 {
+		t.Fatalf("first-photon times reject exponentiality: D %.4f p %.5f", res.Statistic, res.PValue)
+	}
+}
+
+func TestRateLinearInConcentration(t *testing.T) {
+	// The new RSU-G's knob: doubling copies doubles the decay rate.
+	src := rng.NewXoshiro256(5)
+	r1, _ := testEnsemble(32, 1).MeasureRate(4000, 1e6, src)
+	r2, _ := testEnsemble(64, 1).MeasureRate(4000, 1e6, src)
+	r4, _ := testEnsemble(128, 1).MeasureRate(4000, 1e6, src)
+	if math.Abs(r2/r1-2) > 0.15 {
+		t.Errorf("2x copies gave rate ratio %v, want ~2", r2/r1)
+	}
+	if math.Abs(r4/r1-4) > 0.3 {
+		t.Errorf("4x copies gave rate ratio %v, want ~4", r4/r1)
+	}
+}
+
+func TestRateLinearInIntensity(t *testing.T) {
+	// The previous RSU-G's knob: doubling QDLED intensity doubles the rate.
+	src := rng.NewXoshiro256(6)
+	r1, _ := testEnsemble(64, 0.5).MeasureRate(4000, 1e6, src)
+	r2, _ := testEnsemble(64, 1.0).MeasureRate(4000, 1e6, src)
+	if math.Abs(r2/r1-2) > 0.15 {
+		t.Errorf("2x intensity gave rate ratio %v, want ~2", r2/r1)
+	}
+}
+
+func TestFirstPhotonHorizon(t *testing.T) {
+	e := testEnsemble(2, 0.0005)
+	src := rng.NewXoshiro256(7)
+	misses := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, ok := e.FirstPhoton(10, src); !ok {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Fatal("a tight horizon must produce empty windows")
+	}
+}
+
+func TestEnsembleValidate(t *testing.T) {
+	if (&Ensemble{}).Validate() == nil {
+		t.Error("empty ensemble must be invalid")
+	}
+	e := testEnsemble(0, 1)
+	if e.Validate() == nil {
+		t.Error("zero copies must be invalid")
+	}
+}

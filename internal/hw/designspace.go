@@ -1,0 +1,107 @@
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// The Sec. IV-B-5/6 sizing rules: timing precision sets how many RET
+// circuit replicas overlap (the observation window in cycles), and the
+// distribution truncation sets how many replica rows each circuit needs so
+// a network is not reused before its residual excitation decays below the
+// 0.4% cleanliness target.
+
+// binsPerCycle is the clock-multiplied timing resolution (8 x 1 GHz).
+const binsPerCycle = 8
+
+// residualTarget is the paper's 99.6% cleanliness point.
+const residualTarget = 0.004
+
+// CircuitReplicas returns the RET circuits needed to sustain one label per
+// cycle at the given Time_bits: the window spans 2^T bins = 2^T/8 cycles.
+func CircuitReplicas(timeBits int) int {
+	if timeBits < 1 {
+		panic("hw: timeBits must be >= 1")
+	}
+	w := (1 << timeBits) / binsPerCycle
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ReplicaRows returns the rows per circuit required so a row sits idle long
+// enough that P(residual excitation) = Truncation^rows <= 0.4%.
+func ReplicaRows(truncation float64) int {
+	if truncation <= 0 || truncation >= 1 {
+		panic("hw: truncation must be in (0,1)")
+	}
+	if truncation <= residualTarget {
+		return 1
+	}
+	return int(math.Ceil(math.Log(residualTarget) / math.Log(truncation)))
+}
+
+// DesignPointCost returns the optical-side (RET circuit bank) cost of a
+// (Time_bits, Truncation) design point, built from the same primitive
+// constants as NewRSUGDesign: per row one QDLED + waveguide, four
+// concentration networks and four SPADs, plus a SPAD mux per circuit.
+func DesignPointCost(timeBits int, truncation float64) AreaPower {
+	circuits := CircuitReplicas(timeBits)
+	rows := ReplicaRows(truncation)
+	perRow := AreaPower{80 + 20 + 4*3 + 4*6, 0.00375 + 4*0.00125}
+	mux := AreaPower{float64(4 * rows), 0.01}
+	perCircuit := perRow.Scale(float64(rows)).Add(mux)
+	return perCircuit.Scale(float64(circuits))
+}
+
+// RelativeDesignCost normalizes a design point against the paper's chosen
+// (Time_bits 5, Truncation 0.5) configuration.
+func RelativeDesignCost(timeBits int, truncation float64) (area, power float64) {
+	ref := DesignPointCost(5, 0.5)
+	pt := DesignPointCost(timeBits, truncation)
+	return pt.AreaUm2 / ref.AreaUm2, pt.PowerMW / ref.PowerMW
+}
+
+// DesignPoint describes one point of the Fig. 8 diagonal with its cost.
+type DesignPoint struct {
+	TimeBits   int
+	Truncation float64
+	Circuits   int
+	Rows       int
+	Cost       AreaPower
+	RelArea    float64
+	RelPower   float64
+}
+
+// DiagonalPoints returns the equal-quality trade-off points the paper's
+// Fig. 8 identifies, with their optical costs.
+func DiagonalPoints() []DesignPoint {
+	pts := []struct {
+		t  int
+		tr float64
+	}{
+		{3, 0.9}, {4, 0.7}, {5, 0.5}, {6, 0.3}, {8, 0.1},
+	}
+	var out []DesignPoint
+	for _, p := range pts {
+		cost := DesignPointCost(p.t, p.tr)
+		ra, rp := RelativeDesignCost(p.t, p.tr)
+		out = append(out, DesignPoint{
+			TimeBits:   p.t,
+			Truncation: p.tr,
+			Circuits:   CircuitReplicas(p.t),
+			Rows:       ReplicaRows(p.tr),
+			Cost:       cost,
+			RelArea:    ra,
+			RelPower:   rp,
+		})
+	}
+	return out
+}
+
+// String renders a design point compactly.
+func (d DesignPoint) String() string {
+	return fmt.Sprintf("T%d/%.2f: %d circuits x %d rows, %.0f um^2, %.2f mW (%.2fx area, %.2fx power)",
+		d.TimeBits, d.Truncation, d.Circuits, d.Rows, d.Cost.AreaUm2, d.Cost.PowerMW, d.RelArea, d.RelPower)
+}

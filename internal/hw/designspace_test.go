@@ -1,0 +1,111 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCircuitReplicas(t *testing.T) {
+	cases := map[int]int{3: 1, 4: 2, 5: 4, 6: 8, 8: 32}
+	for tb, want := range cases {
+		if got := CircuitReplicas(tb); got != want {
+			t.Errorf("CircuitReplicas(%d) = %d, want %d", tb, got, want)
+		}
+	}
+}
+
+func TestReplicaRows(t *testing.T) {
+	// The paper's anchors: truncation 0.5 needs 8 rows (0.5^8 < 0.4%),
+	// truncation 0.004 needs a single row.
+	if got := ReplicaRows(0.5); got != 8 {
+		t.Errorf("ReplicaRows(0.5) = %d, want 8", got)
+	}
+	if got := ReplicaRows(0.004); got != 1 {
+		t.Errorf("ReplicaRows(0.004) = %d, want 1", got)
+	}
+	if got := ReplicaRows(0.9); got != 53 {
+		t.Errorf("ReplicaRows(0.9) = %d, want 53", got)
+	}
+	// The sizing rule must actually meet the target.
+	for _, tr := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		rows := ReplicaRows(tr)
+		if resid := math.Pow(tr, float64(rows)); resid > residualTarget {
+			t.Errorf("truncation %v with %d rows leaves residual %v > %v", tr, rows, resid, residualTarget)
+		}
+		if rows > 1 {
+			if resid := math.Pow(tr, float64(rows-1)); resid <= residualTarget {
+				t.Errorf("truncation %v: %d rows is not minimal", tr, rows)
+			}
+		}
+	}
+}
+
+func TestDesignPointCostChosenPoint(t *testing.T) {
+	// (T5, 0.5): 4 circuits x 8 rows. Per-row primitives match the
+	// Table III inventory (QDLED 80, waveguide 20, 4 networks, 4 SPADs).
+	cost := DesignPointCost(5, 0.5)
+	perRow := 80.0 + 20 + 4*3 + 4*6
+	want := 4 * (8*perRow + 4*8) // + per-circuit mux
+	if math.Abs(cost.AreaUm2-want) > 0.5 {
+		t.Fatalf("chosen-point area %v, want %v", cost.AreaUm2, want)
+	}
+	ra, rp := RelativeDesignCost(5, 0.5)
+	if ra != 1 || rp != 1 {
+		t.Fatalf("chosen point must normalize to 1.0/1.0, got %v/%v", ra, rp)
+	}
+}
+
+func TestDiagonalTradeoffShape(t *testing.T) {
+	pts := DiagonalPoints()
+	if len(pts) != 5 {
+		t.Fatalf("want 5 diagonal points, got %d", len(pts))
+	}
+	// Circuits grow with Time_bits; rows shrink with Truncation.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Circuits <= pts[i-1].Circuits {
+			t.Errorf("circuits must grow along the diagonal: %v", pts)
+		}
+		if pts[i].Rows >= pts[i-1].Rows {
+			t.Errorf("rows must shrink along the diagonal: %v", pts)
+		}
+	}
+	// The chosen point should be at or near the cost minimum — the
+	// "good balance" claim.
+	minIdx := 0
+	for i, p := range pts {
+		if p.Cost.AreaUm2 < pts[minIdx].Cost.AreaUm2 {
+			minIdx = i
+		}
+	}
+	chosen := 2 // (T5, 0.5)
+	if d := minIdx - chosen; d < -1 || d > 1 {
+		t.Errorf("cost minimum at index %d (%+v); chosen point %d not near-optimal", minIdx, pts[minIdx], chosen)
+	}
+	if pts[chosen].RelArea != 1 {
+		t.Error("chosen point must have relative area 1")
+	}
+}
+
+func TestDesignPointString(t *testing.T) {
+	s := DiagonalPoints()[2].String()
+	if s == "" || s[0] != 'T' {
+		t.Fatalf("unexpected rendering %q", s)
+	}
+}
+
+func TestDesignSpacePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"timebits": func() { CircuitReplicas(0) },
+		"trunc-lo": func() { ReplicaRows(0) },
+		"trunc-hi": func() { ReplicaRows(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

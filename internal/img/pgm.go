@@ -1,0 +1,118 @@
+package img
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// WritePGM writes g as a binary (P5) PGM with maxval 255, rounding and
+// clamping pixel values.
+func WritePGM(w io.Writer, g *Gray) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", g.W, g.H); err != nil {
+		return err
+	}
+	for _, v := range g.Pix {
+		b := int(math.Round(v))
+		if b < 0 {
+			b = 0
+		} else if b > 255 {
+			b = 255
+		}
+		if err := bw.WriteByte(byte(b)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SavePGM writes g to the named file as binary PGM.
+func SavePGM(path string, g *Gray) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePGM(f, g); err != nil {
+		f.Close()
+		return fmt.Errorf("img: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ReadPGM parses a binary (P5) PGM with maxval <= 255.
+func ReadPGM(r io.Reader) (*Gray, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("img: unsupported PGM magic %q (want P5)", magic)
+	}
+	var w, h, maxval int
+	for _, dst := range []*int{&w, &h, &maxval} {
+		tok, err := pgmToken(br)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fmt.Sscanf(tok, "%d", dst); err != nil {
+			return nil, fmt.Errorf("img: bad PGM header token %q", tok)
+		}
+	}
+	if w <= 0 || h <= 0 || maxval <= 0 || maxval > 255 {
+		return nil, fmt.Errorf("img: bad PGM header %dx%d maxval %d", w, h, maxval)
+	}
+	buf := make([]byte, w*h)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("img: short PGM pixel data: %w", err)
+	}
+	g := NewGray(w, h)
+	for i, b := range buf {
+		g.Pix[i] = float64(b)
+	}
+	return g, nil
+}
+
+// LoadPGM reads the named binary PGM file.
+func LoadPGM(path string) (*Gray, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPGM(f)
+}
+
+// pgmToken returns the next whitespace-delimited token, skipping '#'
+// comments, then consumes exactly one trailing whitespace byte after the
+// maxval token per the PGM specification.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	inComment := false
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case inComment:
+			if b == '\n' {
+				inComment = false
+			}
+		case b == '#':
+			inComment = true
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package isa models the RSU-G's architectural interface — the paper's
+// Question 3: what does software see? The answer (Sec. IV-B) is a
+// functional unit with a small configuration register file and one
+// sampling operation, drop-in compatible with the previous design except
+// for a new temperature-update register pair that is shadow-buffered so
+// updates never stall the pipeline.
+//
+// The package composes the integer energy datapath (internal/energy), the
+// live boundary registers and the RET sampling primitive behind that
+// register interface; the tests prove the register-level implementation is
+// distribution-identical to the functional model in internal/core. A
+// scalar-core cost model executes Gibbs kernels with either the
+// RSUG_SAMPLE instruction or a software sampling subroutine, reproducing
+// at the ISA level why the unit is worth its silicon.
+package isa
+
+import (
+	"fmt"
+
+	"rsu/internal/core"
+	"rsu/internal/energy"
+	"rsu/internal/rng"
+)
+
+// Reg identifies one configuration register.
+type Reg uint8
+
+const (
+	// RegLabelCount holds M, the number of candidate labels (2..64).
+	RegLabelCount Reg = iota
+	// RegDistanceOp selects the doubleton distance (0 squared, 1 absolute,
+	// 2 binary) — the new design's multi-distance support.
+	RegDistanceOp
+	// RegSmoothWeight is the integer doubleton weight.
+	RegSmoothWeight
+	// RegSmoothCap is the doubleton truncation (0 = off).
+	RegSmoothCap
+	// RegBoundary0..RegBoundary3 are the shadow energy boundaries for the
+	// lambda codes {8,4,2,1}; writes land in the shadow copy and take
+	// effect on RegCommit.
+	RegBoundary0
+	RegBoundary1
+	RegBoundary2
+	RegBoundary3
+	// RegCommit swaps the shadow boundaries into the live converter — the
+	// double-buffered temperature update, zero stall cycles.
+	RegCommit
+	numRegs
+)
+
+// lambdaCodes are the unique 2^n decay rates, largest first, matching the
+// boundary register order.
+var lambdaCodes = [4]int{8, 4, 2, 1}
+
+// Unit is the RSU-G behind its architectural interface.
+type Unit struct {
+	regs       [numRegs]uint8
+	shadow     [4]uint8
+	live       [4]uint8
+	haveLive   bool
+	sampler    *core.Unit
+	src        rng.Source
+	datapath   energy.Datapath
+	configured bool
+}
+
+// New returns an unconfigured unit driven by src. Software must program
+// the register file (WriteReg) and commit boundaries before the first Eval.
+func New(src rng.Source) (*Unit, error) {
+	if src == nil {
+		return nil, fmt.Errorf("isa: nil rng source")
+	}
+	s, err := core.NewUnit(core.NewRSUG(), src, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{sampler: s, src: src}, nil
+}
+
+// WriteReg programs one configuration register over the unit's 8-bit
+// interface.
+func (u *Unit) WriteReg(r Reg, v uint8) error {
+	switch r {
+	case RegLabelCount:
+		if v < 2 || v > 64 {
+			return fmt.Errorf("isa: label count %d outside [2,64]", v)
+		}
+	case RegDistanceOp:
+		if v > 2 {
+			return fmt.Errorf("isa: unknown distance op %d", v)
+		}
+	case RegBoundary0, RegBoundary1, RegBoundary2, RegBoundary3:
+		u.shadow[r-RegBoundary0] = v
+		return nil
+	case RegCommit:
+		u.live = u.shadow
+		u.haveLive = true
+		return nil
+	case RegSmoothWeight, RegSmoothCap:
+	default:
+		return fmt.Errorf("isa: unknown register %d", r)
+	}
+	u.regs[r] = v
+	u.configure()
+	return nil
+}
+
+// configure rebuilds the energy datapath from the register file.
+func (u *Unit) configure() {
+	m := int(u.regs[RegLabelCount])
+	if m < 2 {
+		u.configured = false
+		return
+	}
+	vals := make([]int, m)
+	for i := range vals {
+		vals[i] = i
+	}
+	u.datapath = energy.Datapath{
+		LabelValues:  vals,
+		Op:           energy.Op(u.regs[RegDistanceOp]),
+		SmoothWeight: int(u.regs[RegSmoothWeight]),
+		SmoothCap:    int(u.regs[RegSmoothCap]),
+	}
+	u.configured = u.datapath.Validate() == nil
+}
+
+// BoundaryValues computes the boundary register contents for annealing
+// temperature T — the values the driver software writes each iteration.
+func BoundaryValues(T float64) [4]uint8 {
+	bc := core.NewBoundaryConverter(core.NewRSUG(), T)
+	bounds := bc.Boundaries()
+	var out [4]uint8
+	for i := 0; i < 4; i++ {
+		b := bounds[i]
+		if b < 0 {
+			b = 0
+		}
+		if b > 255 {
+			b = 255
+		}
+		out[i] = uint8(b)
+	}
+	return out
+}
+
+// SetTemperature performs the architectural temperature update: four
+// shadow boundary writes followed by a commit.
+func (u *Unit) SetTemperature(T float64) error {
+	for i, v := range BoundaryValues(T) {
+		if err := u.WriteReg(RegBoundary0+Reg(i), v); err != nil {
+			return err
+		}
+	}
+	return u.WriteReg(RegCommit, 1)
+}
+
+// convert maps a scaled energy code through the live boundary registers:
+// the first register that admits the energy selects its lambda code.
+func (u *Unit) convert(ecode int) int {
+	for i, b := range u.live {
+		if ecode <= int(b) {
+			// Boundary registers are monotone non-increasing in lambda;
+			// a smaller energy hits the larger-lambda register first.
+			return lambdaCodes[i]
+		}
+	}
+	return 0 // probability cut-off
+}
+
+// Eval is the RSUG_SAMPLE operation: given the per-label singleton
+// energies (8-bit values from the data cache) and up to four neighbor
+// labels, compute every label's energy in the integer datapath, convert
+// through the live boundary registers, race the RET circuits and return
+// the first label to fire (or current when nothing fires).
+func (u *Unit) Eval(singletons []uint8, neighbors []uint8, current uint8) (uint8, error) {
+	if !u.configured {
+		return 0, fmt.Errorf("isa: unit not configured")
+	}
+	if !u.haveLive {
+		return 0, fmt.Errorf("isa: boundary registers never committed")
+	}
+	m := int(u.regs[RegLabelCount])
+	if len(singletons) != m {
+		return 0, fmt.Errorf("isa: %d singletons for %d labels", len(singletons), m)
+	}
+	if len(neighbors) > 4 {
+		return 0, fmt.Errorf("isa: at most 4 neighbors")
+	}
+	if int(current) >= m {
+		return 0, fmt.Errorf("isa: current label %d out of range", current)
+	}
+	nl := make([]int, len(neighbors))
+	for i, n := range neighbors {
+		if int(n) >= m {
+			return 0, fmt.Errorf("isa: neighbor label %d out of range", n)
+		}
+		nl[i] = int(n)
+	}
+	// Integer energy stage + E_min scaling (the FIFO subtraction).
+	energies := make([]int, m)
+	emin := energy.MaxEnergy + 1
+	for l := 0; l < m; l++ {
+		e := u.datapath.Energy(int(singletons[l]), l, nl)
+		energies[l] = e
+		if e < emin {
+			emin = e
+		}
+	}
+	// Conversion + sampling + selection.
+	best := -1
+	bestBin := int(^uint(0) >> 1)
+	tied := 1
+	for l := 0; l < m; l++ {
+		code := u.convert(energies[l] - emin)
+		if code == 0 {
+			continue
+		}
+		bin, fired := u.sampler.SampleTTF(code)
+		if !fired {
+			continue
+		}
+		switch {
+		case bin < bestBin:
+			bestBin = bin
+			best = l
+			tied = 1
+		case bin == bestBin:
+			tied++
+			if rng.Intn(u.src, tied) == 0 {
+				best = l
+			}
+		}
+	}
+	if best < 0 {
+		return current, nil
+	}
+	return uint8(best), nil
+}
+
+// Stats exposes the underlying sampling counters.
+func (u *Unit) Stats() core.Stats { return u.sampler.Stats() }

@@ -1,0 +1,221 @@
+package isa
+
+import (
+	"math"
+	"testing"
+
+	"rsu/internal/core"
+	"rsu/internal/rng"
+)
+
+// program configures a unit for an absolute-distance stereo-like kernel.
+func program(t *testing.T, u *Unit, labels uint8) {
+	t.Helper()
+	for _, w := range []struct {
+		r Reg
+		v uint8
+	}{
+		{RegLabelCount, labels},
+		{RegDistanceOp, 1}, // absolute
+		{RegSmoothWeight, 8},
+		{RegSmoothCap, 6},
+	} {
+		if err := u.WriteReg(w.r, w.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.SetTemperature(30); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	u, err := New(rng.NewXoshiro256(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.WriteReg(RegLabelCount, 1); err == nil {
+		t.Error("label count 1 must be rejected")
+	}
+	if err := u.WriteReg(RegLabelCount, 65); err == nil {
+		t.Error("label count 65 must be rejected (6-bit labels)")
+	}
+	if err := u.WriteReg(RegDistanceOp, 3); err == nil {
+		t.Error("distance op 3 must be rejected")
+	}
+	if err := u.WriteReg(numRegs, 0); err == nil {
+		t.Error("unknown register must be rejected")
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("nil source must be rejected")
+	}
+}
+
+func TestEvalRequiresConfiguration(t *testing.T) {
+	u, _ := New(rng.NewXoshiro256(2))
+	if _, err := u.Eval([]uint8{0, 1}, nil, 0); err == nil {
+		t.Fatal("unconfigured unit must refuse Eval")
+	}
+	// Configure but never commit boundaries.
+	u.WriteReg(RegLabelCount, 2)
+	u.WriteReg(RegDistanceOp, 1)
+	if _, err := u.Eval([]uint8{0, 1}, nil, 0); err == nil {
+		t.Fatal("uncommitted boundaries must refuse Eval")
+	}
+}
+
+func TestShadowBoundariesTakeEffectOnCommit(t *testing.T) {
+	u, _ := New(rng.NewXoshiro256(3))
+	program(t, u, 2)
+	before := u.live
+	// Write new shadow values without commit: live must not change.
+	for i := 0; i < 4; i++ {
+		u.WriteReg(RegBoundary0+Reg(i), 7)
+	}
+	if u.live != before {
+		t.Fatal("shadow writes leaked into the live registers")
+	}
+	u.WriteReg(RegCommit, 1)
+	if u.live != [4]uint8{7, 7, 7, 7} {
+		t.Fatalf("commit did not swap: %v", u.live)
+	}
+}
+
+func TestEvalOperandValidation(t *testing.T) {
+	u, _ := New(rng.NewXoshiro256(4))
+	program(t, u, 4)
+	if _, err := u.Eval([]uint8{0, 1, 2}, nil, 0); err == nil {
+		t.Error("singleton count mismatch must error")
+	}
+	if _, err := u.Eval([]uint8{0, 1, 2, 3}, []uint8{0, 0, 0, 0, 0}, 0); err == nil {
+		t.Error("five neighbors must error")
+	}
+	if _, err := u.Eval([]uint8{0, 1, 2, 3}, []uint8{9}, 0); err == nil {
+		t.Error("out-of-range neighbor must error")
+	}
+	if _, err := u.Eval([]uint8{0, 1, 2, 3}, nil, 9); err == nil {
+		t.Error("out-of-range current must error")
+	}
+}
+
+// TestEvalMatchesFunctionalModel is the package's key claim: the
+// register-level implementation (integer datapath + live boundary
+// registers + RET primitive) samples the same distribution as the
+// functional model in internal/core.
+func TestEvalMatchesFunctionalModel(t *testing.T) {
+	const m = 6
+	u, _ := New(rng.NewXoshiro256(5))
+	program(t, u, m)
+
+	ref := core.MustUnit(core.NewRSUG(), rng.NewXoshiro256(6), false)
+	ref.SetTemperature(30)
+
+	singles := []uint8{10, 40, 5, 90, 60, 25}
+	neighbors := []uint8{2, 2, 3, 1}
+
+	// Reference energies: same integer datapath arithmetic, float-fed.
+	refEnergies := make([]float64, m)
+	for l := 0; l < m; l++ {
+		e := float64(singles[l])
+		for _, n := range neighbors {
+			d := math.Abs(float64(l) - float64(n))
+			if d > 6 {
+				d = 6
+			}
+			e += 8 * d
+		}
+		if e > 255 {
+			e = 255
+		}
+		refEnergies[l] = e
+	}
+
+	const n = 120000
+	ci := make([]float64, m)
+	cr := make([]float64, m)
+	for i := 0; i < n; i++ {
+		got, err := u.Eval(singles, neighbors, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ci[got]++
+		cr[ref.Sample(refEnergies, 0)]++
+	}
+	for l := 0; l < m; l++ {
+		di, dr := ci[l]/n, cr[l]/n
+		if math.Abs(di-dr) > 0.012 {
+			t.Errorf("label %d: isa %.4f vs functional %.4f", l, di, dr)
+		}
+	}
+}
+
+func TestNoFireReturnsCurrent(t *testing.T) {
+	u, _ := New(rng.NewXoshiro256(7))
+	program(t, u, 2)
+	// Force an impossible conversion: commit zero boundaries so every
+	// scaled energy above 0 cuts off; with equal singletons E'=0 still
+	// fires, so push boundaries below zero is impossible — instead verify
+	// the fallback path via direct live manipulation.
+	u.shadow = [4]uint8{0, 0, 0, 0}
+	u.WriteReg(RegCommit, 1)
+	// E' = 0 for the min label: code 8 fires almost always; run until a
+	// truncation happens to exercise the current-return path statistically.
+	kept := false
+	for i := 0; i < 20000; i++ {
+		got, err := u.Eval([]uint8{0, 200}, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == 1 {
+			kept = true // label 1 is cut off; only a no-fire returns it
+		}
+	}
+	if !kept {
+		t.Fatal("no-fire fallback never returned the current label (expected ~0.4% of evals)")
+	}
+}
+
+func TestBoundaryValuesMonotone(t *testing.T) {
+	b := BoundaryValues(30)
+	for i := 1; i < 4; i++ {
+		if b[i] < b[i-1] {
+			t.Fatalf("boundaries must be non-decreasing toward smaller lambda: %v", b)
+		}
+	}
+	cold := BoundaryValues(2)
+	hot := BoundaryValues(200)
+	if hot[3] <= cold[3] {
+		t.Fatalf("higher temperature must widen the active-energy range: %v vs %v", hot, cold)
+	}
+}
+
+func TestKernelCostModel(t *testing.T) {
+	c := DefaultCostModel()
+	// The software sampling cost must sit in the paper's 600-800 cycle
+	// band for a mid-size label count.
+	if got := c.SoftwareSampleCycles(30); got < 550 || got > 850 {
+		t.Errorf("software sampling %d cycles for 30 labels, want ~600-800", got)
+	}
+	sw, err := c.KernelCycles(30, 1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := c.KernelCycles(30, 1000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw >= sw {
+		t.Fatalf("RSU-G kernel (%d) must beat software (%d)", hw, sw)
+	}
+	s30, _ := c.Speedup(30, 1000)
+	s5, _ := c.Speedup(5, 1000)
+	if s30 <= s5 {
+		t.Errorf("speedup must grow with label count: %0.2f (5) vs %0.2f (30)", s5, s30)
+	}
+	if s30 < 2 || s30 > 10 {
+		t.Errorf("kernel speedup %.2f outside the plausible 2-10x band", s30)
+	}
+	if _, err := c.KernelCycles(1, 10, true); err == nil {
+		t.Error("m=1 must error")
+	}
+}

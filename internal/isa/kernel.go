@@ -1,0 +1,85 @@
+package isa
+
+import "fmt"
+
+// CostModel prices a Gibbs kernel on a simple in-order core, with sampling
+// performed either in software or by the RSU-G functional unit. The
+// software costs anchor to the paper's Sec. II-A numbers (600-800 cycles
+// for common distributions).
+type CostModel struct {
+	// LoadCycles prices one cached data access (neighbor label or
+	// singleton energy).
+	LoadCycles int
+	// ALUCycles prices one arithmetic op (energy accumulate, compare).
+	ALUCycles int
+	// ExpCycles prices one software exponential evaluation.
+	ExpCycles int
+	// DrawCycles prices one software uniform draw + CDF scan setup.
+	DrawCycles int
+	// RSUGFixed is the non-pipelined overhead of one RSUG_SAMPLE
+	// (operand setup + result read); the M label evaluations themselves
+	// pipeline at one per cycle and overlap the next pixel's gather.
+	RSUGFixed int
+}
+
+// DefaultCostModel returns the calibrated per-op costs.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		LoadCycles: 2,
+		ALUCycles:  1,
+		ExpCycles:  18,
+		DrawCycles: 40,
+		RSUGFixed:  8,
+	}
+}
+
+// KernelCycles prices one full Gibbs sweep of `pixels` variables with M
+// labels each.
+//
+// Both variants pay the same gather + energy arithmetic; the software
+// variant then evaluates M exponentials, draws a uniform and scans the
+// CDF, while the RSU-G variant issues one RSUG_SAMPLE whose M pipelined
+// label evaluations largely hide under the next pixel's gather (the
+// steady-state 1 label/cycle of the hardware pipeline).
+func (c CostModel) KernelCycles(m, pixels int, useRSUG bool) (int64, error) {
+	if m < 2 || pixels < 1 {
+		return 0, fmt.Errorf("isa: need m >= 2 and pixels >= 1")
+	}
+	gather := int64((4 + m) * c.LoadCycles) // neighbor labels + singleton row
+	energyOps := int64(m * 5 * c.ALUCycles) // 4 doubletons + accumulate per label
+	perPixel := gather + energyOps
+	if useRSUG {
+		// The unit consumes one label per cycle; issue overlaps the
+		// front-end work, so only the residue beyond the gather shows.
+		sample := int64(m) + int64(c.RSUGFixed)
+		overlap := perPixel
+		if sample > overlap {
+			perPixel += sample - overlap
+		}
+		perPixel += int64(c.RSUGFixed)
+	} else {
+		perPixel += int64(m*c.ExpCycles) +
+			int64(c.DrawCycles) +
+			int64(m*c.ALUCycles) // CDF scan
+	}
+	return perPixel * int64(pixels), nil
+}
+
+// SoftwareSampleCycles returns the per-pixel sampling-only cost of the
+// software path, for comparison against the paper's 600-800 cycle anchor.
+func (c CostModel) SoftwareSampleCycles(m int) int {
+	return m*c.ExpCycles + c.DrawCycles + m*c.ALUCycles
+}
+
+// Speedup returns the kernel-level speedup of the RSU-G variant.
+func (c CostModel) Speedup(m, pixels int) (float64, error) {
+	sw, err := c.KernelCycles(m, pixels, false)
+	if err != nil {
+		return 0, err
+	}
+	hw, err := c.KernelCycles(m, pixels, true)
+	if err != nil {
+		return 0, err
+	}
+	return float64(sw) / float64(hw), nil
+}

@@ -1,0 +1,272 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rsu/internal/img"
+)
+
+func lab(w, h int, vals ...int) *img.Labels {
+	m := img.NewLabels(w, h)
+	copy(m.L, vals)
+	return m
+}
+
+func TestBadPixelPctExact(t *testing.T) {
+	gt := lab(2, 2, 0, 5, 10, 20)
+	pred := lab(2, 2, 0, 6, 13, 20) // diffs 0,1,3,0 with threshold 1 -> 1 bad
+	if got := BadPixelPct(pred, gt, 1, nil); got != 25 {
+		t.Fatalf("BP = %v, want 25", got)
+	}
+	if got := BadPixelPct(gt, gt, 1, nil); got != 0 {
+		t.Fatalf("BP of identical maps = %v, want 0", got)
+	}
+}
+
+func TestBadPixelPctMaskCountsAsBad(t *testing.T) {
+	gt := lab(2, 1, 3, 3)
+	pred := lab(2, 1, 3, 3)
+	mask := []bool{true, false}
+	if got := BadPixelPct(pred, gt, 1, mask); got != 50 {
+		t.Fatalf("BP with occluded pixel = %v, want 50", got)
+	}
+}
+
+func TestBadPixelPctSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	BadPixelPct(lab(2, 1, 0, 0), lab(1, 2, 0, 0), 1, nil)
+}
+
+func TestRMSError(t *testing.T) {
+	gt := lab(2, 1, 0, 0)
+	pred := lab(2, 1, 3, 4)
+	want := math.Sqrt((9.0 + 16.0) / 2)
+	if got := RMSError(pred, gt, nil); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMS = %v, want %v", got, want)
+	}
+	if RMSError(gt, gt, nil) != 0 {
+		t.Fatal("RMS of identical maps not 0")
+	}
+}
+
+func TestEndPointError(t *testing.T) {
+	got := EndPointError([]float64{0, 3}, []float64{0, 4}, []float64{0, 0}, []float64{0, 0})
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("EPE = %v, want 2.5", got)
+	}
+}
+
+func TestEndPointErrorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	EndPointError([]float64{1}, []float64{1, 2}, []float64{1}, []float64{1})
+}
+
+func TestVoIIdenticalIsZero(t *testing.T) {
+	a := lab(3, 2, 0, 0, 1, 1, 2, 2)
+	if v := VariationOfInformation(a, a); v > 1e-12 {
+		t.Fatalf("VoI(a,a) = %v, want 0", v)
+	}
+	// Label renaming must not matter.
+	b := lab(3, 2, 7, 7, 3, 3, 9, 9)
+	if v := VariationOfInformation(a, b); v > 1e-12 {
+		t.Fatalf("VoI under renaming = %v, want 0", v)
+	}
+}
+
+func TestVoISymmetric(t *testing.T) {
+	a := lab(4, 1, 0, 0, 1, 1)
+	b := lab(4, 1, 0, 1, 1, 1)
+	if d := math.Abs(VariationOfInformation(a, b) - VariationOfInformation(b, a)); d > 1e-12 {
+		t.Fatalf("VoI asymmetric by %v", d)
+	}
+}
+
+func TestVoIKnownValue(t *testing.T) {
+	// Two independent half/half splits of 4 pixels:
+	// A = {0,0,1,1}, B = {0,1,0,1}. H(A)=H(B)=ln2, I=0 => VoI = 2 ln2.
+	a := lab(4, 1, 0, 0, 1, 1)
+	b := lab(4, 1, 0, 1, 0, 1)
+	want := 2 * math.Ln2
+	if v := VariationOfInformation(a, b); math.Abs(v-want) > 1e-12 {
+		t.Fatalf("VoI = %v, want %v", v, want)
+	}
+}
+
+func TestPRIBounds(t *testing.T) {
+	a := lab(4, 1, 0, 0, 1, 1)
+	if p := ProbabilisticRandIndex(a, a); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("PRI(a,a) = %v, want 1", p)
+	}
+	b := lab(4, 1, 0, 1, 0, 1)
+	p := ProbabilisticRandIndex(a, b)
+	// Pairs: 6 total. Same in A: (1,2),(3,4). Same in B: (1,3),(2,4).
+	// Agreements: pairs different in both = (1,4),(2,3) -> 2. PRI = 2/6.
+	if math.Abs(p-2.0/6) > 1e-12 {
+		t.Fatalf("PRI = %v, want %v", p, 2.0/6)
+	}
+}
+
+func TestPRIPropertyRange(t *testing.T) {
+	err := quick.Check(func(seed uint32) bool {
+		s := seed
+		next := func(n int) int {
+			s = s*1664525 + 1013904223
+			return int(s>>16) % n
+		}
+		a, b := img.NewLabels(5, 4), img.NewLabels(5, 4)
+		for i := range a.L {
+			a.L[i] = next(4)
+			b.L[i] = next(4)
+		}
+		p := ProbabilisticRandIndex(a, b)
+		v := VariationOfInformation(a, b)
+		g := GlobalConsistencyError(a, b)
+		return p >= 0 && p <= 1 && v >= 0 && g >= 0 && g <= 1
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCERefinementIsZero(t *testing.T) {
+	// B refines A (splits A's single segment in two) -> GCE must be 0.
+	a := lab(4, 1, 0, 0, 0, 0)
+	b := lab(4, 1, 0, 0, 1, 1)
+	if g := GlobalConsistencyError(a, b); g > 1e-12 {
+		t.Fatalf("GCE of refinement = %v, want 0", g)
+	}
+}
+
+func TestBDEIdenticalIsZero(t *testing.T) {
+	a := img.NewLabels(6, 6)
+	for y := 0; y < 6; y++ {
+		for x := 0; x < 6; x++ {
+			if x >= 3 {
+				a.Set(x, y, 1)
+			}
+		}
+	}
+	if d := BoundaryDisplacementError(a, a); d != 0 {
+		t.Fatalf("BDE(a,a) = %v, want 0", d)
+	}
+}
+
+func TestBDEShiftedBoundary(t *testing.T) {
+	// Vertical boundary at x=2|3 vs x=3|4: displacement 1 pixel each way.
+	mk := func(split int) *img.Labels {
+		m := img.NewLabels(8, 4)
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 8; x++ {
+				if x >= split {
+					m.Set(x, y, 1)
+				}
+			}
+		}
+		return m
+	}
+	d := BoundaryDisplacementError(mk(3), mk(4))
+	if math.Abs(d-1) > 1e-9 {
+		t.Fatalf("BDE = %v, want 1", d)
+	}
+}
+
+func TestBDEDegenerate(t *testing.T) {
+	flat := img.NewLabels(5, 5)
+	if d := BoundaryDisplacementError(flat, flat); d != 0 {
+		t.Fatalf("BDE of two flat maps = %v, want 0", d)
+	}
+	split := img.NewLabels(5, 5)
+	for y := 0; y < 5; y++ {
+		split.Set(4, y, 1)
+	}
+	d := BoundaryDisplacementError(flat, split)
+	if d <= 0 {
+		t.Fatalf("BDE flat-vs-split = %v, want > 0", d)
+	}
+}
+
+func TestEvaluateSegmentationBundle(t *testing.T) {
+	a := lab(4, 1, 0, 0, 1, 1)
+	s := EvaluateSegmentation(a, a)
+	if s.VoI != 0 || s.PRI != 1 || s.GCE != 0 || s.BDE != 0 {
+		t.Fatalf("self-evaluation = %+v, want perfect scores", s)
+	}
+}
+
+func TestDistanceMapCorrectness(t *testing.T) {
+	// Single seed at (0,0) in a 4x3 image; verify exact Euclidean distances.
+	d := distanceMap(4, 3, []point{{0, 0}})
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 4; x++ {
+			want := math.Hypot(float64(x), float64(y))
+			if got := d[y*4+x]; math.Abs(got-want) > 1e-9 {
+				t.Errorf("dist(%d,%d) = %v, want %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestEvaluateSubregions(t *testing.T) {
+	// 4x1 image: pixel 1 occluded, pixel 3 mispredicted, all textureless
+	// (flat reference image).
+	gt := lab(4, 1, 5, 5, 5, 5)
+	pred := lab(4, 1, 5, 5, 5, 9)
+	mask := []bool{true, false, true, true}
+	ref := img.NewGray(4, 1)
+	s := EvaluateSubregions(pred, gt, mask, ref, 1, 4)
+	if s.All != 50 { // occluded + mispredicted out of 4
+		t.Errorf("All = %v, want 50", s.All)
+	}
+	if s.Occluded != 100 {
+		t.Errorf("Occluded = %v, want 100 (occluded is always bad)", s.Occluded)
+	}
+	if math.Abs(s.NonOccluded-100.0/3) > 1e-9 {
+		t.Errorf("NonOccluded = %v, want 33.3", s.NonOccluded)
+	}
+	if s.TexturelessFrac != 1 {
+		t.Errorf("flat image must be all textureless, got %v", s.TexturelessFrac)
+	}
+	if s.Textureless != 50 {
+		t.Errorf("Textureless = %v, want 50", s.Textureless)
+	}
+}
+
+func TestSubregionTextureDetection(t *testing.T) {
+	gt := img.NewLabels(8, 8)
+	pred := gt.Clone()
+	ref := img.NewGray(8, 8)
+	// Left half flat, right half checkered (high variance).
+	for y := 0; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			if (x+y)%2 == 0 {
+				ref.Set(x, y, 255)
+			}
+		}
+	}
+	s := EvaluateSubregions(pred, gt, nil, ref, 1, 100)
+	if s.TexturelessFrac <= 0.3 || s.TexturelessFrac >= 0.7 {
+		t.Errorf("textureless fraction %v, want roughly half", s.TexturelessFrac)
+	}
+	if s.All != 0 {
+		t.Errorf("perfect prediction must score 0, got %v", s.All)
+	}
+}
+
+func TestSubregionPanicsOnBadRef(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched reference")
+		}
+	}()
+	EvaluateSubregions(lab(2, 1, 0, 0), lab(2, 1, 0, 0), nil, img.NewGray(3, 3), 1, 4)
+}

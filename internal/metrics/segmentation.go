@@ -1,0 +1,255 @@
+package metrics
+
+import (
+	"math"
+
+	"rsu/internal/img"
+)
+
+// SegScores bundles the four segmentation quality metrics reported by the
+// BISIP evaluation package the paper uses (Sec. III-D-3). Lower is better
+// for VoI, GCE and BDE; higher is better for PRI.
+type SegScores struct {
+	VoI float64 // Variation of Information, in [0, inf)
+	PRI float64 // Probabilistic Rand Index, in [0, 1]
+	GCE float64 // Global Consistency Error, in [0, 1]
+	BDE float64 // Boundary Displacement Error, in pixels
+}
+
+// EvaluateSegmentation computes all four metrics between a predicted and a
+// ground-truth segmentation of the same image.
+func EvaluateSegmentation(pred, gt *img.Labels) SegScores {
+	return SegScores{
+		VoI: VariationOfInformation(pred, gt),
+		PRI: ProbabilisticRandIndex(pred, gt),
+		GCE: GlobalConsistencyError(pred, gt),
+		BDE: BoundaryDisplacementError(pred, gt),
+	}
+}
+
+// contingency builds the joint label-count table n[i][j], the marginals and
+// the total pixel count for two segmentations. Labels are compacted to
+// dense indices so sparse ids cost nothing.
+func contingency(a, b *img.Labels) (n [][]float64, ra, rb []float64, total float64) {
+	mustSameSize(a, b, nil)
+	aIdx := compact(a.L)
+	bIdx := compact(b.L)
+	ka, kb := maxVal(aIdx)+1, maxVal(bIdx)+1
+	n = make([][]float64, ka)
+	for i := range n {
+		n[i] = make([]float64, kb)
+	}
+	ra = make([]float64, ka)
+	rb = make([]float64, kb)
+	for p := range aIdx {
+		i, j := aIdx[p], bIdx[p]
+		n[i][j]++
+		ra[i]++
+		rb[j]++
+	}
+	total = float64(len(aIdx))
+	return n, ra, rb, total
+}
+
+func compact(labels []int) []int {
+	m := map[int]int{}
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		idx, ok := m[l]
+		if !ok {
+			idx = len(m)
+			m[l] = idx
+		}
+		out[i] = idx
+	}
+	return out
+}
+
+func maxVal(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// VariationOfInformation returns VoI(A, B) = H(A) + H(B) - 2 I(A; B), the
+// information-theoretic distance between two segmentations. It is 0 iff the
+// segmentations are identical up to label renaming.
+func VariationOfInformation(a, b *img.Labels) float64 {
+	n, ra, rb, total := contingency(a, b)
+	var ha, hb, mi float64
+	for _, c := range ra {
+		if c > 0 {
+			p := c / total
+			ha -= p * math.Log(p)
+		}
+	}
+	for _, c := range rb {
+		if c > 0 {
+			p := c / total
+			hb -= p * math.Log(p)
+		}
+	}
+	for i := range n {
+		for j, c := range n[i] {
+			if c > 0 {
+				p := c / total
+				mi += p * math.Log(p*total*total/(ra[i]*rb[j]))
+			}
+		}
+	}
+	v := ha + hb - 2*mi
+	if v < 0 { // guard tiny negative round-off
+		v = 0
+	}
+	return v
+}
+
+// ProbabilisticRandIndex returns the Rand index between the two
+// segmentations: the fraction of pixel pairs whose same/different-segment
+// relationship agrees. (With a single ground truth, PRI reduces to the Rand
+// index, which is how we score the synthetic datasets.)
+func ProbabilisticRandIndex(a, b *img.Labels) float64 {
+	n, ra, rb, total := contingency(a, b)
+	choose2 := func(x float64) float64 { return x * (x - 1) / 2 }
+	var sumN, sumA, sumB float64
+	for i := range n {
+		for _, c := range n[i] {
+			sumN += choose2(c)
+		}
+	}
+	for _, c := range ra {
+		sumA += choose2(c)
+	}
+	for _, c := range rb {
+		sumB += choose2(c)
+	}
+	pairs := choose2(total)
+	if pairs == 0 {
+		return 1
+	}
+	agree := pairs + 2*sumN - sumA - sumB
+	return agree / pairs
+}
+
+// GlobalConsistencyError returns the GCE of Martin et al.: a measure that
+// forgives one segmentation being a refinement of the other. 0 means one is
+// a perfect refinement of the other.
+func GlobalConsistencyError(a, b *img.Labels) float64 {
+	n, ra, rb, total := contingency(a, b)
+	var eAB, eBA float64
+	for i := range n {
+		for j, c := range n[i] {
+			if c == 0 {
+				continue
+			}
+			eAB += c * (ra[i] - c) / ra[i]
+			eBA += c * (rb[j] - c) / rb[j]
+		}
+	}
+	return math.Min(eAB, eBA) / total
+}
+
+// BoundaryDisplacementError returns the symmetric mean distance between the
+// boundary pixel sets of the two segmentations, in pixels. If either
+// segmentation has no boundary (single segment), the other's boundary pixels
+// are scored against the image diagonal, a conservative worst case.
+func BoundaryDisplacementError(a, b *img.Labels) float64 {
+	mustSameSize(a, b, nil)
+	ba := boundaryPoints(a)
+	bb := boundaryPoints(b)
+	diag := math.Hypot(float64(a.W), float64(a.H))
+	switch {
+	case len(ba) == 0 && len(bb) == 0:
+		return 0
+	case len(ba) == 0 || len(bb) == 0:
+		return diag
+	}
+	da := meanNearest(ba, distanceMap(b.W, b.H, bb), a.W)
+	db := meanNearest(bb, distanceMap(a.W, a.H, ba), a.W)
+	return (da + db) / 2
+}
+
+type point struct{ x, y int }
+
+// boundaryPoints returns pixels that differ from their right or bottom
+// neighbor — a standard inter-pixel boundary extraction.
+func boundaryPoints(m *img.Labels) []point {
+	var pts []point
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			l := m.At(x, y)
+			if x+1 < m.W && m.At(x+1, y) != l {
+				pts = append(pts, point{x, y})
+				continue
+			}
+			if y+1 < m.H && m.At(x, y+1) != l {
+				pts = append(pts, point{x, y})
+			}
+		}
+	}
+	return pts
+}
+
+// distanceMap computes, for every pixel, the Euclidean distance to the
+// nearest seed point using a two-pass chamfer approximation refined to exact
+// Euclidean via local seed tracking (sufficient for image-scale BDE).
+func distanceMap(w, h int, seeds []point) []float64 {
+	const inf = math.MaxFloat64
+	dist := make([]float64, w*h)
+	nearest := make([]point, w*h)
+	for i := range dist {
+		dist[i] = inf
+	}
+	for _, s := range seeds {
+		dist[s.y*w+s.x] = 0
+		nearest[s.y*w+s.x] = s
+	}
+	relax := func(x, y, nx, ny int) {
+		if nx < 0 || nx >= w || ny < 0 || ny >= h {
+			return
+		}
+		ni := ny*w + nx
+		if dist[ni] == inf {
+			return
+		}
+		s := nearest[ni]
+		d := math.Hypot(float64(x-s.x), float64(y-s.y))
+		i := y*w + x
+		if d < dist[i] {
+			dist[i] = d
+			nearest[i] = s
+		}
+	}
+	// Forward pass.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			relax(x, y, x-1, y)
+			relax(x, y, x, y-1)
+			relax(x, y, x-1, y-1)
+			relax(x, y, x+1, y-1)
+		}
+	}
+	// Backward pass.
+	for y := h - 1; y >= 0; y-- {
+		for x := w - 1; x >= 0; x-- {
+			relax(x, y, x+1, y)
+			relax(x, y, x, y+1)
+			relax(x, y, x+1, y+1)
+			relax(x, y, x-1, y+1)
+		}
+	}
+	return dist
+}
+
+// meanNearest averages, over pts, the distance-map value at each point.
+func meanNearest(pts []point, dist []float64, w int) float64 {
+	var sum float64
+	for _, p := range pts {
+		sum += dist[p.y*w+p.x]
+	}
+	return sum / float64(len(pts))
+}

@@ -1,0 +1,82 @@
+// Package metrics implements the community-standard result-quality metrics
+// the paper evaluates with: bad-pixel percentage and RMS disparity error for
+// stereo vision (Middlebury protocol), average end-point error for motion
+// estimation, and the four segmentation metrics of the BISIP package
+// (Variation of Information, Probabilistic Rand Index, Global Consistency
+// Error, Boundary Displacement Error).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"rsu/internal/img"
+)
+
+// BadPixelPct returns the percentage of pixels whose predicted disparity
+// differs from ground truth by more than threshold (the paper uses 1).
+// Pixels where mask is false (e.g. occluded regions with no correspondence)
+// are *always* counted as mislabeled, matching the paper's conservative
+// accounting; pass a nil mask to score all pixels normally.
+func BadPixelPct(pred, gt *img.Labels, threshold float64, mask []bool) float64 {
+	n := mustSameSize(pred, gt, mask)
+	bad := 0
+	for i := 0; i < n; i++ {
+		if mask != nil && !mask[i] {
+			bad++
+			continue
+		}
+		if math.Abs(float64(pred.L[i]-gt.L[i])) > threshold {
+			bad++
+		}
+	}
+	return 100 * float64(bad) / float64(n)
+}
+
+// RMSError returns the root-mean-squared disparity error. Masked-out pixels
+// contribute the full ground-truth disparity as error (conservative), as
+// with BadPixelPct.
+func RMSError(pred, gt *img.Labels, mask []bool) float64 {
+	n := mustSameSize(pred, gt, mask)
+	var sum float64
+	for i := 0; i < n; i++ {
+		var d float64
+		if mask != nil && !mask[i] {
+			d = float64(gt.L[i])
+		} else {
+			d = float64(pred.L[i] - gt.L[i])
+		}
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// EndPointError returns the average Euclidean distance between predicted and
+// ground-truth flow vectors — the Middlebury optical-flow quality metric.
+// The four slices must have equal length.
+func EndPointError(predU, predV, gtU, gtV []float64) float64 {
+	if len(predU) != len(predV) || len(predU) != len(gtU) || len(predU) != len(gtV) {
+		panic("metrics: flow component slices must have equal length")
+	}
+	if len(predU) == 0 {
+		panic("metrics: empty flow field")
+	}
+	var sum float64
+	for i := range predU {
+		du := predU[i] - gtU[i]
+		dv := predV[i] - gtV[i]
+		sum += math.Sqrt(du*du + dv*dv)
+	}
+	return sum / float64(len(predU))
+}
+
+func mustSameSize(a, b *img.Labels, mask []bool) int {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("metrics: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	n := a.W * a.H
+	if mask != nil && len(mask) != n {
+		panic("metrics: mask length mismatch")
+	}
+	return n
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+
+	"rsu/internal/img"
+)
+
+// SubregionBP is the Middlebury-style disparity evaluation the paper
+// mentions (Sec. III-A): overall bad-pixel percentage plus the breakdown
+// for occluded and textureless subregions, which fail for different
+// reasons (no correspondence vs. ambiguous matching).
+type SubregionBP struct {
+	All         float64
+	NonOccluded float64
+	Occluded    float64
+	Textureless float64
+	// Fractions of the image each subregion covers.
+	OccludedFrac    float64
+	TexturelessFrac float64
+}
+
+// EvaluateSubregions scores a disparity map against ground truth with the
+// given correspondence mask (false = occluded) and reference image, using
+// `threshold` for bad pixels and `textureVar` as the local-variance cutoff
+// below which a pixel counts as textureless (over a 3x3 window).
+func EvaluateSubregions(pred, gt *img.Labels, mask []bool, ref *img.Gray, threshold, textureVar float64) SubregionBP {
+	n := mustSameSize(pred, gt, mask)
+	if ref == nil || ref.W != pred.W || ref.H != pred.H {
+		panic("metrics: reference image must match the disparity maps")
+	}
+	var res SubregionBP
+	var badAll, badNonOcc, badOcc, badTex float64
+	var nNonOcc, nOcc, nTex float64
+	for y := 0; y < pred.H; y++ {
+		for x := 0; x < pred.W; x++ {
+			i := y*pred.W + x
+			occluded := mask != nil && !mask[i]
+			bad := occluded || math.Abs(float64(pred.L[i]-gt.L[i])) > threshold
+			if bad {
+				badAll++
+			}
+			if occluded {
+				nOcc++
+				if bad {
+					badOcc++
+				}
+			} else {
+				nNonOcc++
+				if bad {
+					badNonOcc++
+				}
+			}
+			if localVariance(ref, x, y) < textureVar {
+				nTex++
+				if bad {
+					badTex++
+				}
+			}
+		}
+	}
+	total := float64(n)
+	res.All = 100 * badAll / total
+	if nNonOcc > 0 {
+		res.NonOccluded = 100 * badNonOcc / nNonOcc
+	}
+	if nOcc > 0 {
+		res.Occluded = 100 * badOcc / nOcc
+	}
+	if nTex > 0 {
+		res.Textureless = 100 * badTex / nTex
+	}
+	res.OccludedFrac = nOcc / total
+	res.TexturelessFrac = nTex / total
+	return res
+}
+
+// localVariance returns the intensity variance over the 3x3 neighborhood
+// with replicate padding.
+func localVariance(g *img.Gray, x, y int) float64 {
+	var sum, sq float64
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			v := g.AtClamped(x+dx, y+dy)
+			sum += v
+			sq += v * v
+		}
+	}
+	mean := sum / 9
+	return sq/9 - mean*mean
+}

@@ -1,0 +1,171 @@
+// Package mrf implements the first-order grid Markov Random Field model and
+// the MCMC Gibbs/simulated-annealing solver the paper's three computer
+// vision applications are built on (Fig. 1): iterate pixel by pixel, compute
+// the energy of every candidate label from the data term (singleton) and the
+// 4-neighborhood smoothness term (doubleton), and draw the new label from a
+// LabelSampler — either the software Boltzmann baseline or the RSU-G
+// functional simulator.
+package mrf
+
+import (
+	"fmt"
+	"math"
+
+	"rsu/internal/img"
+)
+
+// DistanceKind selects the doubleton (pairwise) distance function. The
+// previous RSU-G supported only squared distance; the new design adds
+// binary and absolute distance (Sec. IV-B-1), covering the paper's three
+// applications.
+type DistanceKind int
+
+const (
+	// Squared distance (l1-l2)^2 — motion estimation.
+	Squared DistanceKind = iota
+	// Absolute distance |l1-l2| — stereo vision.
+	Absolute
+	// Binary (Potts) distance: 0 if equal, 1 otherwise — segmentation.
+	Binary
+)
+
+func (d DistanceKind) String() string {
+	switch d {
+	case Squared:
+		return "squared"
+	case Absolute:
+		return "absolute"
+	case Binary:
+		return "binary"
+	default:
+		return fmt.Sprintf("DistanceKind(%d)", int(d))
+	}
+}
+
+// Distance evaluates the selected label distance.
+func Distance(kind DistanceKind, a, b int) float64 {
+	switch kind {
+	case Squared:
+		d := float64(a - b)
+		return d * d
+	case Absolute:
+		return math.Abs(float64(a - b))
+	case Binary:
+		if a == b {
+			return 0
+		}
+		return 1
+	default:
+		panic("mrf: unknown distance kind")
+	}
+}
+
+// Problem is a first-order grid MRF instance.
+type Problem struct {
+	W, H   int
+	Labels int
+	// Singleton returns the data-term energy of label l at pixel (x, y).
+	// It is evaluated once per (pixel, label) and cached by the solver.
+	Singleton func(x, y, l int) float64
+	// PairWeight scales the doubleton term.
+	PairWeight float64
+	// Dist selects the doubleton distance function.
+	Dist DistanceKind
+	// PairDist, when non-nil, overrides Dist with a custom label distance.
+	// Motion estimation uses this to apply the squared distance to the 2-D
+	// vectors its labels encode, which is how the RSU-G energy stage treats
+	// motion labels (Sec. III-D-2).
+	PairDist func(a, b int) float64
+	// TruncateDist, when positive, caps the doubleton distance —
+	// the standard truncated linear/quadratic robustness trick. 0 = no cap.
+	TruncateDist float64
+}
+
+// Validate reports structural errors in the problem definition.
+func (p *Problem) Validate() error {
+	switch {
+	case p.W <= 0 || p.H <= 0:
+		return fmt.Errorf("mrf: invalid grid %dx%d", p.W, p.H)
+	case p.Labels < 2:
+		return fmt.Errorf("mrf: need at least 2 labels, got %d", p.Labels)
+	case p.Singleton == nil:
+		return fmt.Errorf("mrf: nil Singleton function")
+	case p.PairWeight < 0:
+		return fmt.Errorf("mrf: negative PairWeight")
+	}
+	return nil
+}
+
+// pairDist applies the configured distance with optional truncation.
+func (p *Problem) pairDist(a, b int) float64 {
+	var d float64
+	if p.PairDist != nil {
+		d = p.PairDist(a, b)
+	} else {
+		d = Distance(p.Dist, a, b)
+	}
+	if p.TruncateDist > 0 && d > p.TruncateDist {
+		d = p.TruncateDist
+	}
+	return d
+}
+
+// singletonTable caches the data term: index (y*W+x)*Labels + l.
+func (p *Problem) singletonTable() []float64 {
+	tab := make([]float64, p.W*p.H*p.Labels)
+	i := 0
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			for l := 0; l < p.Labels; l++ {
+				tab[i] = p.Singleton(x, y, l)
+				i++
+			}
+		}
+	}
+	return tab
+}
+
+// LabelEnergies fills dst with the energy of every candidate label at pixel
+// (x, y) under the current labeling — the quantity the RSU-G energy stage
+// computes (Eq. 1). Exposed for tests and the cycle-level simulator.
+func (p *Problem) LabelEnergies(dst []float64, singles []float64, lab *img.Labels, x, y int) {
+	base := (y*p.W + x) * p.Labels
+	for l := 0; l < p.Labels; l++ {
+		e := singles[base+l]
+		if x > 0 {
+			e += p.PairWeight * p.pairDist(l, lab.At(x-1, y))
+		}
+		if x+1 < p.W {
+			e += p.PairWeight * p.pairDist(l, lab.At(x+1, y))
+		}
+		if y > 0 {
+			e += p.PairWeight * p.pairDist(l, lab.At(x, y-1))
+		}
+		if y+1 < p.H {
+			e += p.PairWeight * p.pairDist(l, lab.At(x, y+1))
+		}
+		dst[l] = e
+	}
+}
+
+// TotalEnergy returns the full MRF energy of a labeling: the sum of all
+// singletons plus each doubleton counted once.
+func (p *Problem) TotalEnergy(lab *img.Labels) float64 {
+	if lab.W != p.W || lab.H != p.H {
+		panic("mrf: labeling size mismatch")
+	}
+	var e float64
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			l := lab.At(x, y)
+			e += p.Singleton(x, y, l)
+			if x+1 < p.W {
+				e += p.PairWeight * p.pairDist(l, lab.At(x+1, y))
+			}
+			if y+1 < p.H {
+				e += p.PairWeight * p.pairDist(l, lab.At(x, y+1))
+			}
+		}
+	}
+	return e
+}

@@ -1,0 +1,92 @@
+package mrf
+
+import (
+	"fmt"
+	"sync"
+
+	"rsu/internal/core"
+	"rsu/internal/img"
+)
+
+// SolveParallel runs checkerboard-parallel simulated-annealing Gibbs
+// sampling: pixels of one checkerboard color have no 4-neighborhood edges
+// between them, so the discrete RSU-G accelerator (and this solver) can
+// update a whole color class concurrently without changing the Markov
+// chain's stationary distribution. One sampler is required per worker —
+// samplers hold per-stream RNG state and are not safe to share.
+func SolveParallel(p *Problem, samplers []core.LabelSampler, sched Schedule, opts SolveOptions) (*img.Labels, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	if len(samplers) == 0 {
+		return nil, fmt.Errorf("mrf: need at least one sampler")
+	}
+	for i, s := range samplers {
+		if s == nil {
+			return nil, fmt.Errorf("mrf: nil sampler at index %d", i)
+		}
+	}
+	lab := opts.Init
+	if lab == nil {
+		lab = img.NewLabels(p.W, p.H)
+	} else {
+		if lab.W != p.W || lab.H != p.H {
+			return nil, fmt.Errorf("mrf: init labeling %dx%d does not match problem %dx%d", lab.W, lab.H, p.W, p.H)
+		}
+		lab = lab.Clone()
+	}
+	for i, l := range lab.L {
+		if l < 0 || l >= p.Labels {
+			return nil, fmt.Errorf("mrf: init label %d at index %d out of range [0,%d)", l, i, p.Labels)
+		}
+	}
+
+	singles := p.singletonTable()
+
+	// Pre-split each color class into contiguous worker shards of rows so
+	// each worker touches a disjoint pixel set.
+	workers := len(samplers)
+	type shard struct{ y0, y1 int }
+	shards := make([]shard, 0, workers)
+	rows := p.H
+	for w := 0; w < workers; w++ {
+		y0 := rows * w / workers
+		y1 := rows * (w + 1) / workers
+		shards = append(shards, shard{y0, y1})
+	}
+
+	var wg sync.WaitGroup
+	for k := 0; k < sched.Iterations; k++ {
+		T := sched.Temperature(k)
+		for _, s := range samplers {
+			s.SetTemperature(T)
+		}
+		for color := 0; color < 2; color++ {
+			for w, sh := range shards {
+				if sh.y0 == sh.y1 {
+					continue
+				}
+				wg.Add(1)
+				go func(w int, sh shard) {
+					defer wg.Done()
+					s := samplers[w]
+					energies := make([]float64, p.Labels)
+					for y := sh.y0; y < sh.y1; y++ {
+						for x := (y + color) % 2; x < p.W; x += 2 {
+							p.LabelEnergies(energies, singles, lab, x, y)
+							lab.Set(x, y, s.Sample(energies, lab.At(x, y)))
+						}
+					}
+				}(w, sh)
+			}
+			wg.Wait()
+		}
+		if opts.OnSweep != nil {
+			opts.OnSweep(k, lab)
+		}
+	}
+	return lab, nil
+}

@@ -1,0 +1,100 @@
+package mrf
+
+import (
+	"fmt"
+
+	"rsu/internal/core"
+	"rsu/internal/img"
+)
+
+// Schedule is a geometric simulated-annealing schedule: iteration k runs at
+// temperature T0 * Alpha^k, for Iterations full Gibbs sweeps. Alpha = 1
+// gives fixed-temperature Gibbs sampling (used by image segmentation, which
+// the paper runs for 30 plain iterations).
+type Schedule struct {
+	T0         float64
+	Alpha      float64
+	Iterations int
+}
+
+// Validate reports schedule errors.
+func (s Schedule) Validate() error {
+	switch {
+	case s.T0 <= 0:
+		return fmt.Errorf("mrf: T0 must be positive")
+	case s.Alpha <= 0 || s.Alpha > 1:
+		return fmt.Errorf("mrf: Alpha must be in (0,1]")
+	case s.Iterations <= 0:
+		return fmt.Errorf("mrf: Iterations must be positive")
+	}
+	return nil
+}
+
+// Temperature returns the temperature of sweep k, floored at a small
+// positive value so late annealing iterations stay numerically valid.
+func (s Schedule) Temperature(k int) float64 {
+	t := s.T0
+	for i := 0; i < k; i++ {
+		t *= s.Alpha
+	}
+	const floor = 1e-4
+	if t < floor {
+		t = floor
+	}
+	return t
+}
+
+// SolveOptions tunes a Solve run.
+type SolveOptions struct {
+	// Init is the starting labeling; nil starts from all-zero labels.
+	Init *img.Labels
+	// OnSweep, if non-nil, is called after each sweep with the sweep index
+	// and the current labeling (shared storage — copy if retained).
+	OnSweep func(iter int, lab *img.Labels)
+}
+
+// Solve runs simulated-annealing Gibbs sampling on the problem using the
+// given label sampler, returning the final labeling. The sampler's
+// SetTemperature is invoked at the start of every sweep, mirroring the
+// RSU-G's per-iteration LUT/boundary update.
+func Solve(p *Problem, sampler core.LabelSampler, sched Schedule, opts SolveOptions) (*img.Labels, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	if sampler == nil {
+		return nil, fmt.Errorf("mrf: nil sampler")
+	}
+	lab := opts.Init
+	if lab == nil {
+		lab = img.NewLabels(p.W, p.H)
+	} else {
+		if lab.W != p.W || lab.H != p.H {
+			return nil, fmt.Errorf("mrf: init labeling %dx%d does not match problem %dx%d", lab.W, lab.H, p.W, p.H)
+		}
+		lab = lab.Clone()
+	}
+	for i, l := range lab.L {
+		if l < 0 || l >= p.Labels {
+			return nil, fmt.Errorf("mrf: init label %d at index %d out of range [0,%d)", l, i, p.Labels)
+		}
+	}
+
+	singles := p.singletonTable()
+	energies := make([]float64, p.Labels)
+	for k := 0; k < sched.Iterations; k++ {
+		sampler.SetTemperature(sched.Temperature(k))
+		for y := 0; y < p.H; y++ {
+			for x := 0; x < p.W; x++ {
+				p.LabelEnergies(energies, singles, lab, x, y)
+				lab.Set(x, y, sampler.Sample(energies, lab.At(x, y)))
+			}
+		}
+		if opts.OnSweep != nil {
+			opts.OnSweep(k, lab)
+		}
+	}
+	return lab, nil
+}

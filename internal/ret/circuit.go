@@ -1,0 +1,136 @@
+package ret
+
+import (
+	"fmt"
+
+	"rsu/internal/rng"
+)
+
+// Circuit is a live RET circuit bank: Rows waveguides, each carrying one
+// network per configured concentration and one QDLED. A QDLED counter
+// advances one row per detection window; the SPAD mux selects the network
+// matching the requested decay-rate code (Sec. IV-B-4/6, Fig. 11).
+type Circuit struct {
+	cfg   CircuitConfig
+	rows  [][]*Network
+	src   rng.Source
+	stats CircuitStats
+}
+
+// CircuitStats counts device-level events.
+type CircuitStats struct {
+	Activations int // windows started
+	Fired       int // samples observed within their window
+	Truncated   int // samples beyond the window (rounded to infinity)
+	BleedThru   int // windows contaminated by a previous window's residual
+	DarkCounts  int // windows decided by a SPAD dark count
+}
+
+// NewCircuit builds a circuit bank from the configuration.
+func NewCircuit(cfg CircuitConfig, src rng.Source) (*Circuit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("ret: nil rng source")
+	}
+	c := &Circuit{cfg: cfg, src: src}
+	c.rows = make([][]*Network, cfg.Rows)
+	for r := range c.rows {
+		nets := make([]*Network, len(cfg.Concentrations))
+		for i, conc := range cfg.Concentrations {
+			nets[i] = NewNetwork(conc)
+			nets[i].BleachPerExcitation = cfg.BleachPerExcitation
+		}
+		c.rows[r] = nets
+	}
+	return c, nil
+}
+
+// Refresh restores every network's quantum yield (molecular-layer
+// replacement, the photo-bleaching mitigation).
+func (c *Circuit) Refresh() {
+	for _, row := range c.rows {
+		for _, n := range row {
+			n.Refresh()
+		}
+	}
+}
+
+// MinYield returns the lowest surviving quantum yield across the bank — a
+// health metric for the bleaching experiment.
+func (c *Circuit) MinYield() float64 {
+	min := 1.0
+	for _, row := range c.rows {
+		for _, n := range row {
+			if y := n.Yield(); y < min {
+				min = y
+			}
+		}
+	}
+	return min
+}
+
+// Stats returns the accumulated device counters.
+func (c *Circuit) Stats() CircuitStats { return c.stats }
+
+// Sample runs one detection window starting at absolute bin time `now` for
+// the given decay-rate request. For concentration-based designs the code
+// selects the network (its concentration equals the code); for
+// intensity-based designs it selects the QDLED drive level. It returns the
+// 1-based time bin of the first SPAD event, or fired=false if nothing was
+// observed within the window.
+//
+// The QDLED excites *every* network on the selected row (they share the
+// waveguide); only the muxed SPAD is read. windowIndex selects the row via
+// the QDLED counter (windowIndex mod Rows), which enforces the reuse
+// interval that keeps residual excitation below the 0.4% target.
+func (c *Circuit) Sample(code int, windowIndex int64, now int64) (bin int64, fired bool) {
+	c.stats.Activations++
+	row := c.rows[int(windowIndex%int64(c.cfg.Rows))]
+
+	netIdx, intensity := c.route(code)
+	target := row[netIdx]
+
+	// Bleed-through check: if the target network is still excited from a
+	// previous activation, its stale photon can be mistaken for the new
+	// sample. Counted before the new excitation merges the processes.
+	if target.Excited(now) {
+		c.stats.BleedThru++
+	}
+
+	for _, n := range row {
+		n.Excite(now, intensity, c.cfg.BaseRate, c.src)
+	}
+	to := now + c.cfg.WindowBins
+	photon, hasPhoton := target.Emission(now+1, to)
+	t, ok := c.cfg.SPAD.Detect(photon, hasPhoton, now+1, to, c.src)
+	if !ok {
+		c.stats.Truncated++
+		return 0, false
+	}
+	if !hasPhoton || t < photon {
+		c.stats.DarkCounts++
+	}
+	c.stats.Fired++
+	return t - now, true
+}
+
+// route maps a decay-rate code to (network index, intensity).
+func (c *Circuit) route(code int) (int, float64) {
+	if len(c.cfg.Concentrations) > 1 {
+		// Concentration-based: find the network whose concentration
+		// matches the code.
+		for i, conc := range c.cfg.Concentrations {
+			if int(conc) == code {
+				return i, c.cfg.Intensities[0]
+			}
+		}
+		panic(fmt.Sprintf("ret: no network with concentration %d", code))
+	}
+	// Intensity-based: code indexes the drive level.
+	if code < 1 || code > len(c.cfg.Intensities) {
+		panic(fmt.Sprintf("ret: intensity code %d out of [1,%d]", code, len(c.cfg.Intensities)))
+	}
+	return 0, c.cfg.Intensities[code-1]
+}

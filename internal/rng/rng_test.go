@@ -1,0 +1,260 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMT19937ReferenceTenThousandth(t *testing.T) {
+	// The C++ standard (26.5.5 [rand.predef]) guarantees the 10000th
+	// consecutive invocation of a default-constructed std::mt19937
+	// (seed 5489) produces 4123659995.
+	m := NewMT19937(5489)
+	var v uint32
+	for i := 0; i < 10000; i++ {
+		v = m.Uint32()
+	}
+	if v != 4123659995 {
+		t.Fatalf("mt19937 10000th output = %d, want 4123659995", v)
+	}
+}
+
+func TestMT19937SeedDeterminism(t *testing.T) {
+	a, b := NewMT19937(42), NewMT19937(42)
+	for i := 0; i < 2000; i++ {
+		if av, bv := a.Uint32(), b.Uint32(); av != bv {
+			t.Fatalf("divergence at step %d: %d vs %d", i, av, bv)
+		}
+	}
+	c := NewMT19937(43)
+	same := 0
+	a.Seed(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint32() == c.Uint32() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds agree on %d/100 outputs", same)
+	}
+}
+
+func TestLFSR19MaximalPeriod(t *testing.T) {
+	l := NewLFSR19(1)
+	start := l.State()
+	period := 0
+	for {
+		l.NextBit()
+		period++
+		if l.State() == start {
+			break
+		}
+		if period > LFSR19Period {
+			t.Fatalf("period exceeds maximal %d; taps are not maximal", LFSR19Period)
+		}
+	}
+	if period != LFSR19Period {
+		t.Fatalf("period = %d, want %d", period, LFSR19Period)
+	}
+}
+
+func TestLFSR19NeverZero(t *testing.T) {
+	l := NewLFSR19(0x2a)
+	for i := 0; i < 100000; i++ {
+		l.NextBit()
+		if l.State() == 0 {
+			t.Fatalf("LFSR entered lock-up state at step %d", i)
+		}
+	}
+	if NewLFSR19(0).State() == 0 {
+		t.Fatal("zero seed must be remapped")
+	}
+}
+
+func TestLFSR19BitBalance(t *testing.T) {
+	// A maximal 19-bit LFSR emits 2^18 ones and 2^18-1 zeros per period.
+	l := NewLFSR19(7)
+	ones := 0
+	for i := 0; i < LFSR19Period; i++ {
+		ones += int(l.NextBit())
+	}
+	if ones != 1<<18 {
+		t.Fatalf("ones per period = %d, want %d", ones, 1<<18)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	src := NewXoshiro256(1)
+	for i := 0; i < 100000; i++ {
+		u := Float64(src)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", u)
+		}
+	}
+}
+
+func TestFloat64MeanVariance(t *testing.T) {
+	src := NewXoshiro256(2)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		u := Float64(src)
+		sum += u
+		sumSq += u * u
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.005 {
+		t.Errorf("variance = %v, want ~%v", variance, 1.0/12)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	src := NewXoshiro256(3)
+	for _, rate := range []float64{0.1, 1, 4, 32} {
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += Exponential(src, rate)
+		}
+		mean := sum / n
+		want := 1 / rate
+		if math.Abs(mean-want) > 4*want/math.Sqrt(n) {
+			t.Errorf("rate %v: mean = %v, want ~%v", rate, mean, want)
+		}
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rate = 0")
+		}
+	}()
+	Exponential(NewSplitMix64(1), 0)
+}
+
+func TestCategoricalSkipsZeroWeights(t *testing.T) {
+	src := NewXoshiro256(4)
+	w := []float64{0, 3, 0, 1, 0}
+	counts := make([]int, len(w))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[Categorical(src, w)]++
+	}
+	if counts[0]+counts[2]+counts[4] != 0 {
+		t.Fatalf("zero-weight index chosen: %v", counts)
+	}
+	got := float64(counts[1]) / n
+	if math.Abs(got-0.75) > 0.01 {
+		t.Errorf("P(1) = %v, want ~0.75", got)
+	}
+}
+
+func TestCategoricalSingleton(t *testing.T) {
+	src := NewSplitMix64(5)
+	for i := 0; i < 100; i++ {
+		if Categorical(src, []float64{0, 0, 2.5}) != 2 {
+			t.Fatal("singleton categorical must always pick its only positive index")
+		}
+	}
+}
+
+func TestCategoricalPanicsOnAllZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for all-zero weights")
+		}
+	}()
+	Categorical(NewSplitMix64(6), []float64{0, 0})
+}
+
+func TestIntnBounds(t *testing.T) {
+	src := NewXoshiro256(7)
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%63) + 1
+		v := Intn(src, n)
+		return v >= 0 && v < n
+	}, &quick.Config{MaxCount: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	src := NewXoshiro256(8)
+	const n, draws = 8, 160000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[Intn(src, n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestXoshiroNotConstant(t *testing.T) {
+	src := NewXoshiro256(9)
+	first := src.Uint64()
+	diff := false
+	for i := 0; i < 16; i++ {
+		if src.Uint64() != first {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("xoshiro output constant")
+	}
+}
+
+func TestSplitMixKnownGoodMixing(t *testing.T) {
+	// Consecutive outputs of splitmix64 from seed 0 must all differ and
+	// have roughly half the bits set on average.
+	s := NewSplitMix64(0)
+	seen := map[uint64]bool{}
+	bits := 0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		v := s.Uint64()
+		if seen[v] {
+			t.Fatalf("duplicate output %#x at step %d", v, i)
+		}
+		seen[v] = true
+		for ; v != 0; v &= v - 1 {
+			bits++
+		}
+	}
+	mean := float64(bits) / n
+	if mean < 30 || mean > 34 {
+		t.Fatalf("mean popcount %v, want ~32", mean)
+	}
+}
+
+func TestMT19937AsSource(t *testing.T) {
+	var src Source = NewMT19937(123)
+	u := Float64(src)
+	if u < 0 || u >= 1 {
+		t.Fatalf("Float64 over MT19937 out of range: %v", u)
+	}
+}
+
+func TestLFSRAsSource(t *testing.T) {
+	var src Source = NewLFSR19(99)
+	sum := 0.0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += Float64(src)
+	}
+	mean := sum / n
+	if mean < 0.4 || mean > 0.6 {
+		t.Fatalf("LFSR-backed Float64 mean %v far from 0.5", mean)
+	}
+}

@@ -1,0 +1,132 @@
+package rngtest
+
+import (
+	"math"
+	"testing"
+
+	"rsu/internal/rng"
+)
+
+const sampleBits = 200000
+
+func TestGoodGeneratorsPassBattery(t *testing.T) {
+	gens := map[string]rng.Source{
+		"xoshiro256": rng.NewXoshiro256(1),
+		"mt19937":    rng.NewMT19937(1),
+		"splitmix":   rng.NewSplitMix64(1),
+	}
+	for name, src := range gens {
+		r, err := Run(name, src, sampleBits, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.MonobitP < 1e-4 {
+			t.Errorf("%s fails monobit: p = %v", name, r.MonobitP)
+		}
+		if r.BlockFreqP < 1e-4 {
+			t.Errorf("%s fails block frequency: p = %v", name, r.BlockFreqP)
+		}
+		if r.RunsP < 1e-4 {
+			t.Errorf("%s fails runs: p = %v", name, r.RunsP)
+		}
+		if math.Abs(r.SerialRho) > 0.01 {
+			t.Errorf("%s serial correlation %v too high", name, r.SerialRho)
+		}
+	}
+}
+
+func TestLFSRPassesShortRangeTests(t *testing.T) {
+	// The paper's observation: within a fraction of its period, the LFSR
+	// is statistically fine — which is why it matches result quality.
+	r, err := Run("lfsr19", rng.NewLFSR19(1), sampleBits, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MonobitP < 1e-4 || r.RunsP < 1e-4 {
+		t.Errorf("LFSR should pass short-range tests: monobit %v runs %v", r.MonobitP, r.RunsP)
+	}
+	if math.Abs(r.SerialRho) > 0.01 {
+		t.Errorf("LFSR serial correlation %v too high", r.SerialRho)
+	}
+}
+
+func TestLFSRPeriodExposed(t *testing.T) {
+	// ...but its 2^19-1 cycle is trivially recoverable — the security
+	// caveat made concrete.
+	n := 2*rng.LFSR19Period + 1000
+	bits := Bits(rng.NewLFSR19(1), n)
+	p, ok := FindPeriod(bits, rng.LFSR19Period)
+	if !ok {
+		t.Fatal("LFSR period not found")
+	}
+	if p != rng.LFSR19Period {
+		t.Fatalf("period %d, want %d", p, rng.LFSR19Period)
+	}
+}
+
+func TestNoSpuriousPeriodInGoodGenerator(t *testing.T) {
+	bits := Bits(rng.NewXoshiro256(2), 300000)
+	if p, ok := FindPeriod(bits, 100000); ok {
+		t.Fatalf("xoshiro256 reported period %d", p)
+	}
+}
+
+func TestBatteryDetectsBrokenGenerators(t *testing.T) {
+	// All-ones source must fail monobit; alternating source must fail the
+	// runs test.
+	ones := make([]uint8, 10000)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if p, err := Monobit(ones); err != nil || p > 1e-10 {
+		t.Errorf("all-ones monobit p = %v err %v", p, err)
+	}
+	alt := make([]uint8, 10000)
+	for i := range alt {
+		alt[i] = uint8(i % 2)
+	}
+	if p, err := Runs(alt); err != nil || p > 1e-10 {
+		t.Errorf("alternating runs p = %v err %v", p, err)
+	}
+	if p, ok := FindPeriod(alt, 10); !ok || p != 2 {
+		t.Errorf("alternating period = %v/%v, want 2", p, ok)
+	}
+	if rho, err := SerialCorrelation(alt); err != nil || math.Abs(rho+1) > 0.01 {
+		t.Errorf("alternating serial rho = %v, want ~-1", rho)
+	}
+}
+
+func TestBitsExtraction(t *testing.T) {
+	// A constant source exposes the LSB-first packing.
+	src := constSource(0b1011)
+	bits := Bits(src, 8)
+	want := []uint8{1, 1, 0, 1, 0, 0, 0, 0}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bit %d = %d, want %d (stream %v)", i, bits[i], want[i], bits)
+		}
+	}
+}
+
+type constSource uint64
+
+func (c constSource) Uint64() uint64 { return uint64(c) }
+
+func TestInputValidation(t *testing.T) {
+	short := make([]uint8, 10)
+	if _, err := Monobit(short); err == nil {
+		t.Error("short monobit must error")
+	}
+	if _, err := Runs(short); err == nil {
+		t.Error("short runs must error")
+	}
+	if _, err := BlockFrequency(short, 4); err == nil {
+		t.Error("tiny blocks must error")
+	}
+	if _, err := SerialCorrelation(short); err == nil {
+		t.Error("short serial must error")
+	}
+	if _, ok := FindPeriod(short, 100); ok {
+		t.Error("undersized period scan must decline")
+	}
+}

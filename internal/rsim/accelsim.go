@@ -1,0 +1,98 @@
+package rsim
+
+import "fmt"
+
+// AccelConfig describes the discrete RSU-G accelerator at cycle level:
+// Units RSU-Gs sharing one memory port. Every pixel update transfers
+// BytesPerPixel through the port (singleton row, neighbor labels,
+// writeback) and then occupies one unit for Labels cycles (one label
+// evaluation per cycle). Transfers for upcoming pixels overlap with
+// compute (double buffering), so steady-state throughput is the roofline
+// min(Units/Labels, PortBytesPerCycle/BytesPerPixel) pixels per cycle —
+// which the simulator verifies rather than assumes (cross-validating
+// internal/accel's analytic model).
+type AccelConfig struct {
+	Units             int
+	Labels            int
+	BytesPerPixel     float64
+	PortBytesPerCycle float64
+}
+
+// Validate reports configuration errors.
+func (c AccelConfig) Validate() error {
+	if c.Units < 1 || c.Labels < 1 || c.BytesPerPixel <= 0 || c.PortBytesPerCycle <= 0 {
+		return fmt.Errorf("rsim: invalid accelerator config %+v", c)
+	}
+	return nil
+}
+
+// AccelStats summarizes a simulated accelerator sweep.
+type AccelStats struct {
+	Cycles         int64
+	Pixels         int64
+	CyclesPerPixel float64
+	// MemWaits counts pixel updates that waited on the memory port after
+	// their unit was free (memory-bound operation).
+	MemWaits int64
+	// UnitWaits counts pixel updates whose transfer finished before a unit
+	// was free (compute-bound operation).
+	UnitWaits int64
+}
+
+// AnalyticCyclesPerPixel returns the roofline prediction.
+func (c AccelConfig) AnalyticCyclesPerPixel() float64 {
+	compute := float64(c.Labels) / float64(c.Units)
+	memory := c.BytesPerPixel / c.PortBytesPerCycle
+	if compute > memory {
+		return compute
+	}
+	return memory
+}
+
+// SimulateAccelSweep runs one Gibbs sweep of `pixels` updates through the
+// accelerator, cycle-accurately, and returns the accounting.
+func SimulateAccelSweep(c AccelConfig, pixels int) (AccelStats, error) {
+	if err := c.Validate(); err != nil {
+		return AccelStats{}, err
+	}
+	if pixels < 1 {
+		return AccelStats{}, fmt.Errorf("rsim: pixels must be positive")
+	}
+	var st AccelStats
+	unitFree := make([]int64, c.Units)
+	var portFreeBytes float64 // port busy horizon in "byte-cycles"
+	var lastDone int64
+
+	// Work through pixels in order; each grabs the earliest-free unit.
+	for p := 0; p < pixels; p++ {
+		// Memory transfer: serialized through the shared port.
+		transferStart := portFreeBytes
+		transferDone := transferStart + c.BytesPerPixel
+		portFreeBytes = transferDone
+		transferDoneCycle := int64(transferDone / c.PortBytesPerCycle)
+
+		best := 0
+		for i := 1; i < c.Units; i++ {
+			if unitFree[i] < unitFree[best] {
+				best = i
+			}
+		}
+		start := unitFree[best]
+		switch {
+		case transferDoneCycle > start:
+			st.MemWaits++
+			start = transferDoneCycle
+		case transferDoneCycle < start:
+			st.UnitWaits++
+		}
+		done := start + int64(c.Labels)
+		unitFree[best] = done
+		if done > lastDone {
+			lastDone = done
+		}
+		st.Pixels++
+	}
+	st.Cycles = lastDone
+	st.CyclesPerPixel = float64(st.Cycles) / float64(st.Pixels)
+	return st, nil
+}

@@ -1,0 +1,100 @@
+package rsim
+
+import (
+	"math"
+	"testing"
+
+	"rsu/internal/accel"
+)
+
+func TestAccelSimMatchesRooflineMemoryBound(t *testing.T) {
+	// The paper's segmentation point: 336 units, 5 labels, 10 B/pixel,
+	// 336 B/cycle — memory bound at 10/336 cycles/pixel.
+	c := AccelConfig{Units: 336, Labels: 5, BytesPerPixel: 10, PortBytesPerCycle: 336}
+	st, err := SimulateAccelSweep(c, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.AnalyticCyclesPerPixel()
+	if math.Abs(st.CyclesPerPixel-want)/want > 0.02 {
+		t.Fatalf("cycles/pixel %v, roofline %v", st.CyclesPerPixel, want)
+	}
+	if st.MemWaits < st.UnitWaits {
+		t.Errorf("memory-bound run should mostly wait on the port: mem %d vs unit %d", st.MemWaits, st.UnitWaits)
+	}
+}
+
+func TestAccelSimMatchesRooflineComputeBound(t *testing.T) {
+	// Few units, heavy labels, generous bandwidth: compute bound.
+	c := AccelConfig{Units: 8, Labels: 49, BytesPerPixel: 10, PortBytesPerCycle: 336}
+	st, err := SimulateAccelSweep(c, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.AnalyticCyclesPerPixel() // 49/8
+	if math.Abs(st.CyclesPerPixel-want)/want > 0.02 {
+		t.Fatalf("cycles/pixel %v, roofline %v", st.CyclesPerPixel, want)
+	}
+	if st.UnitWaits < st.MemWaits {
+		t.Errorf("compute-bound run should mostly wait on units: unit %d vs mem %d", st.UnitWaits, st.MemWaits)
+	}
+}
+
+func TestAccelSimCrossValidatesAnalyticModel(t *testing.T) {
+	// The cycle simulator and internal/accel's analytic model must agree
+	// on seconds-per-pixel for the paper's two applications at 336 units.
+	m := accel.DefaultMachine()
+	portBytesPerCycle := m.MemBWBytesPerSec / m.ClockHz
+	for _, p := range []accel.AppProfile{accel.Segmentation5(), accel.Motion49()} {
+		c := AccelConfig{
+			Units:             m.Units,
+			Labels:            p.Labels,
+			BytesPerPixel:     p.BytesPerPixel,
+			PortBytesPerCycle: portBytesPerCycle,
+		}
+		st, err := SimulateAccelSweep(c, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simSec := st.CyclesPerPixel / m.ClockHz
+		anaSec := m.DiscreteSecondsPerPixel(p, m.Units)
+		if math.Abs(simSec-anaSec)/anaSec > 0.03 {
+			t.Errorf("%s: simulated %.3e s/pixel vs analytic %.3e", p.Name, simSec, anaSec)
+		}
+	}
+}
+
+func TestAccelSimScalingKnee(t *testing.T) {
+	// Sweep unit counts across the bandwidth wall: throughput must stop
+	// improving once memory bound.
+	base := AccelConfig{Labels: 49, BytesPerPixel: 54, PortBytesPerCycle: 336}
+	var prev float64 = math.Inf(1)
+	sawFlat := false
+	for _, u := range []int{64, 128, 256, 512, 1024} {
+		c := base
+		c.Units = u
+		st, err := SimulateAccelSweep(c, 60000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.CyclesPerPixel > prev*1.01 {
+			t.Fatalf("throughput regressed at %d units", u)
+		}
+		if math.Abs(st.CyclesPerPixel-prev) < 0.001*prev {
+			sawFlat = true
+		}
+		prev = st.CyclesPerPixel
+	}
+	if !sawFlat {
+		t.Error("expected the scaling curve to flatten past the bandwidth wall")
+	}
+}
+
+func TestAccelSimValidation(t *testing.T) {
+	if _, err := SimulateAccelSweep(AccelConfig{}, 10); err == nil {
+		t.Error("empty config must error")
+	}
+	if _, err := SimulateAccelSweep(AccelConfig{Units: 1, Labels: 1, BytesPerPixel: 1, PortBytesPerCycle: 1}, 0); err == nil {
+		t.Error("zero pixels must error")
+	}
+}

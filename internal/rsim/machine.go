@@ -1,0 +1,172 @@
+package rsim
+
+import (
+	"fmt"
+	"math"
+
+	"rsu/internal/core"
+	"rsu/internal/quant"
+	"rsu/internal/ret"
+	"rsu/internal/rng"
+)
+
+// Machine is a device-level model of one new-design RSU-G: the
+// boundary-comparison converter from internal/core driving four replicated
+// RET circuits from internal/ret (each with its own 8-row x 4-concentration
+// bank, as in Fig. 11). It implements core.LabelSampler, so entire MRF
+// solves can run on the device model — the repository's deepest end-to-end
+// integration path. It is slower than core.Unit but additionally models
+// residual-excitation bleed-through and SPAD dark counts.
+type Machine struct {
+	cfg      core.Config
+	conv     *core.BoundaryConverter
+	circuits []*ret.Circuit
+	acts     []int64 // per-circuit activation counters (QDLED counter)
+	cycle    int64   // global cycle; one label evaluation per cycle
+	equant   quant.Quantizer
+	src      rng.Source
+
+	effBuf  []float64
+	binBuf  []int64
+	fireBuf []bool
+}
+
+// binsPerCycle is the clock-multiplied timing resolution: an 8x multiplier
+// over the 1 GHz core clock gives 8 time bins (125 ps) per cycle.
+const binsPerCycle = 8
+
+// NewMachine builds the device model for the new RSU-G configuration. The
+// configuration must use quantized energies and 2^n lambda codes (the
+// concentration routing needs codes in {1, 2, 4, 8}).
+func NewMachine(cfg core.Config, spad ret.SPAD, src rng.Source) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Mode != core.ConvertScaledCutoffPow2 || cfg.EnergyBits <= 0 || cfg.TimeBits <= 0 {
+		return nil, fmt.Errorf("rsim: Machine requires the new-design configuration (pow2 codes, quantized energy, binned time)")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("rsim: nil rng source")
+	}
+	m := &Machine{cfg: cfg, src: src}
+	m.equant = quant.Quantizer{Bits: cfg.EnergyBits, Min: 0, Max: cfg.EnergyMax}
+	ccfg := ret.CircuitConfig{
+		Rows:           8,
+		Concentrations: concentrations(cfg.MaxLambdaCode()),
+		Intensities:    []float64{1},
+		WindowBins:     int64(cfg.TimeBins()),
+		BaseRate:       cfg.Lambda0(),
+		SPAD:           spad,
+	}
+	const replicas = 4
+	for i := 0; i < replicas; i++ {
+		c, err := ret.NewCircuit(ccfg, src)
+		if err != nil {
+			return nil, err
+		}
+		m.circuits = append(m.circuits, c)
+	}
+	m.acts = make([]int64, replicas)
+	m.SetTemperature(1)
+	return m, nil
+}
+
+func concentrations(max int) []float64 {
+	var cs []float64
+	for c := 1; c <= max; c <<= 1 {
+		cs = append(cs, float64(c))
+	}
+	return cs
+}
+
+// SetTemperature rewrites the (double-buffered) boundary registers.
+func (m *Machine) SetTemperature(T float64) {
+	if T <= 0 {
+		panic("rsim: temperature must be positive")
+	}
+	m.conv = core.NewBoundaryConverter(m.cfg, T)
+}
+
+// DeviceStats aggregates the four circuits' device-level counters.
+func (m *Machine) DeviceStats() ret.CircuitStats {
+	var total ret.CircuitStats
+	for _, c := range m.circuits {
+		s := c.Stats()
+		total.Activations += s.Activations
+		total.Fired += s.Fired
+		total.Truncated += s.Truncated
+		total.BleedThru += s.BleedThru
+		total.DarkCounts += s.DarkCounts
+	}
+	return total
+}
+
+// Cycles returns the number of label-evaluation cycles executed.
+func (m *Machine) Cycles() int64 { return m.cycle }
+
+// Sample evaluates one variable on the device model: quantize, scale by
+// E_min (the FIFO subtraction), convert through the boundary registers,
+// drive the RET circuits round-robin (one label per cycle, one circuit
+// activation per label), and select the earliest time bin. Ties break
+// randomly; if nothing fires the variable keeps its current label.
+func (m *Machine) Sample(energies []float64, current int) int {
+	n := len(energies)
+	if n == 0 {
+		panic("rsim: Sample requires at least one label")
+	}
+	if cap(m.effBuf) < n {
+		m.effBuf = make([]float64, n)
+		m.binBuf = make([]int64, n)
+		m.fireBuf = make([]bool, n)
+	}
+	eff := m.effBuf[:n]
+	minCode := math.MaxInt32
+	for i, e := range energies {
+		c := m.equant.Encode(e)
+		if c < minCode {
+			minCode = c
+		}
+		eff[i] = float64(c)
+	}
+	bins := m.binBuf[:n]
+	fired := m.fireBuf[:n]
+	for i := range eff {
+		ecode := int(eff[i]) - minCode
+		code := m.conv.Code(ecode)
+		circ := i % len(m.circuits)
+		now := m.cycle * binsPerCycle
+		if code > 0 {
+			b, ok := m.circuits[circ].Sample(code, m.acts[circ], now)
+			bins[i], fired[i] = b, ok
+		} else {
+			bins[i], fired[i] = 0, false
+		}
+		m.acts[circ]++
+		m.cycle++
+	}
+	best := -1
+	var bestBin int64 = math.MaxInt64
+	tied := 1
+	for i := 0; i < n; i++ {
+		if !fired[i] {
+			continue
+		}
+		switch {
+		case bins[i] < bestBin:
+			bestBin = bins[i]
+			best = i
+			tied = 1
+		case bins[i] == bestBin:
+			tied++
+			if rng.Intn(m.src, tied) == 0 {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return current
+	}
+	return best
+}
+
+var _ core.LabelSampler = (*Machine)(nil)

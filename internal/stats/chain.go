@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Autocorrelation returns the normalized autocorrelation function of the
+// series at lags 0..maxLag (rho[0] == 1).
+func Autocorrelation(xs []float64, maxLag int) ([]float64, error) {
+	n := len(xs)
+	if n < 3 {
+		return nil, fmt.Errorf("stats: need at least 3 points")
+	}
+	if maxLag < 1 || maxLag >= n {
+		return nil, fmt.Errorf("stats: maxLag %d out of [1, %d)", maxLag, n)
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var c0 float64
+	for _, x := range xs {
+		c0 += (x - mean) * (x - mean)
+	}
+	c0 /= float64(n)
+	if c0 == 0 {
+		return nil, fmt.Errorf("stats: constant series has no autocorrelation")
+	}
+	rho := make([]float64, maxLag+1)
+	rho[0] = 1
+	for lag := 1; lag <= maxLag; lag++ {
+		var c float64
+		for i := 0; i+lag < n; i++ {
+			c += (xs[i] - mean) * (xs[i+lag] - mean)
+		}
+		rho[lag] = c / float64(n) / c0
+	}
+	return rho, nil
+}
+
+// IntegratedAutocorrTime estimates tau = 1 + 2*sum(rho_k) using Geyer's
+// initial positive sequence truncation: sum consecutive lag pairs while
+// their sum stays positive. tau >= 1; larger means slower mixing.
+func IntegratedAutocorrTime(xs []float64) (float64, error) {
+	maxLag := len(xs) / 4
+	if maxLag < 2 {
+		maxLag = 2
+	}
+	rho, err := Autocorrelation(xs, maxLag)
+	if err != nil {
+		return 0, err
+	}
+	tau := 1.0
+	for k := 1; k+1 <= maxLag; k += 2 {
+		pair := rho[k] + rho[k+1]
+		if pair <= 0 {
+			break
+		}
+		tau += 2 * pair
+	}
+	return tau, nil
+}
+
+// EffectiveSampleSize returns n / tau — the number of effectively
+// independent samples in a correlated MCMC series.
+func EffectiveSampleSize(xs []float64) (float64, error) {
+	tau, err := IntegratedAutocorrTime(xs)
+	if err != nil {
+		return 0, err
+	}
+	return float64(len(xs)) / tau, nil
+}
+
+// GelmanRubin computes the potential scale reduction factor R-hat across
+// parallel chains of equal length. Values near 1 indicate convergence.
+func GelmanRubin(chains [][]float64) (float64, error) {
+	m := len(chains)
+	if m < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 chains")
+	}
+	n := len(chains[0])
+	if n < 2 {
+		return 0, fmt.Errorf("stats: chains too short")
+	}
+	for _, c := range chains {
+		if len(c) != n {
+			return 0, fmt.Errorf("stats: chains must have equal length")
+		}
+	}
+	means := make([]float64, m)
+	vars_ := make([]float64, m)
+	var grand float64
+	for i, c := range chains {
+		var s float64
+		for _, x := range c {
+			s += x
+		}
+		means[i] = s / float64(n)
+		grand += means[i]
+		var v float64
+		for _, x := range c {
+			v += (x - means[i]) * (x - means[i])
+		}
+		vars_[i] = v / float64(n-1)
+	}
+	grand /= float64(m)
+	var b, w float64
+	for i := 0; i < m; i++ {
+		b += (means[i] - grand) * (means[i] - grand)
+		w += vars_[i]
+	}
+	b *= float64(n) / float64(m-1)
+	w /= float64(m)
+	if w == 0 {
+		return 0, fmt.Errorf("stats: zero within-chain variance")
+	}
+	vHat := float64(n-1)/float64(n)*w + b/float64(n)
+	return math.Sqrt(vHat / w), nil
+}

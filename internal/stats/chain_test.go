@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"rsu/internal/rng"
+)
+
+// ar1 generates an AR(1) series with coefficient phi, whose integrated
+// autocorrelation time is (1+phi)/(1-phi).
+func ar1(n int, phi float64, seed uint64) []float64 {
+	src := rng.NewXoshiro256(seed)
+	xs := make([]float64, n)
+	x := 0.0
+	for i := range xs {
+		// Unit-variance innovations via sum of uniforms.
+		e := (rng.Float64(src) + rng.Float64(src) + rng.Float64(src) - 1.5) * 2
+		x = phi*x + e
+		xs[i] = x
+	}
+	return xs
+}
+
+func TestAutocorrelationIID(t *testing.T) {
+	xs := ar1(20000, 0, 1)
+	rho, err := Autocorrelation(xs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho[0] != 1 {
+		t.Fatalf("rho[0] = %v, want 1", rho[0])
+	}
+	for lag := 1; lag <= 20; lag++ {
+		if math.Abs(rho[lag]) > 0.03 {
+			t.Errorf("iid series rho[%d] = %v, want ~0", lag, rho[lag])
+		}
+	}
+}
+
+func TestAutocorrelationAR1(t *testing.T) {
+	phi := 0.8
+	xs := ar1(100000, phi, 2)
+	rho, err := Autocorrelation(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lag := 1; lag <= 5; lag++ {
+		want := math.Pow(phi, float64(lag))
+		if math.Abs(rho[lag]-want) > 0.03 {
+			t.Errorf("rho[%d] = %v, want %v", lag, rho[lag], want)
+		}
+	}
+}
+
+func TestIntegratedAutocorrTimeAR1(t *testing.T) {
+	phi := 0.7
+	xs := ar1(200000, phi, 3)
+	tau, err := IntegratedAutocorrTime(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 + phi) / (1 - phi) // ~5.67
+	if math.Abs(tau-want)/want > 0.12 {
+		t.Fatalf("tau = %v, want ~%v", tau, want)
+	}
+}
+
+func TestESSOrdersChainsByMixing(t *testing.T) {
+	fast, err := EffectiveSampleSize(ar1(50000, 0.2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := EffectiveSampleSize(ar1(50000, 0.9, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast <= slow*2 {
+		t.Fatalf("ESS should strongly favor the fast chain: fast %v slow %v", fast, slow)
+	}
+}
+
+func TestAutocorrelationErrors(t *testing.T) {
+	if _, err := Autocorrelation([]float64{1, 2}, 1); err == nil {
+		t.Error("too-short series must error")
+	}
+	if _, err := Autocorrelation([]float64{1, 2, 3, 4}, 4); err == nil {
+		t.Error("maxLag >= n must error")
+	}
+	if _, err := Autocorrelation([]float64{5, 5, 5, 5}, 2); err == nil {
+		t.Error("constant series must error")
+	}
+}
+
+func TestGelmanRubinConverged(t *testing.T) {
+	chains := [][]float64{ar1(20000, 0.3, 6), ar1(20000, 0.3, 7), ar1(20000, 0.3, 8)}
+	r, err := GelmanRubin(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 1.05 {
+		t.Fatalf("R-hat = %v for identically distributed chains, want ~1", r)
+	}
+}
+
+func TestGelmanRubinDetectsDivergence(t *testing.T) {
+	a := ar1(5000, 0.3, 9)
+	b := ar1(5000, 0.3, 10)
+	for i := range b {
+		b[i] += 50 // a chain stuck in a different mode
+	}
+	r, err := GelmanRubin([][]float64{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 2 {
+		t.Fatalf("R-hat = %v for divergent chains, want >> 1", r)
+	}
+}
+
+func TestGelmanRubinErrors(t *testing.T) {
+	if _, err := GelmanRubin([][]float64{{1, 2, 3}}); err == nil {
+		t.Error("single chain must error")
+	}
+	if _, err := GelmanRubin([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged chains must error")
+	}
+	if _, err := GelmanRubin([][]float64{{1, 1}, {1, 1}}); err == nil {
+		t.Error("zero-variance chains must error")
+	}
+}

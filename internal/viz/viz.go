@@ -1,0 +1,115 @@
+// Package viz renders small ASCII visualizations — shaded heat maps and
+// horizontal bar charts — used by the experiment reports to convey the
+// paper's figures in terminal output (e.g. the Fig. 8 Time_bits x
+// Truncation quality map).
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ramp orders shades light-to-dark; darker means larger value.
+const ramp = " .:-=+*#%@"
+
+// Heatmap renders a shaded matrix with row and column labels. Values are
+// normalized over the finite entries; NaN cells render as '?'.
+func Heatmap(rowLabels, colLabels []string, vals [][]float64) string {
+	if len(vals) == 0 || len(vals) != len(rowLabels) {
+		return "(empty heat map)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range vals {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return "(all-NaN heat map)\n"
+	}
+	span := hi - lo
+	var b strings.Builder
+	width := 0
+	for _, l := range rowLabels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	// Column header, abbreviated to 4 runes per cell.
+	fmt.Fprintf(&b, "%*s ", width, "")
+	for _, c := range colLabels {
+		fmt.Fprintf(&b, "%5s", abbrev(c, 5))
+	}
+	b.WriteByte('\n')
+	for i, row := range vals {
+		fmt.Fprintf(&b, "%*s ", width, rowLabels[i])
+		for _, v := range row {
+			b.WriteString("  ")
+			if math.IsNaN(v) {
+				b.WriteString(" ? ")
+				continue
+			}
+			var idx int
+			if span > 0 {
+				idx = int((v - lo) / span * float64(len(ramp)-1))
+			}
+			ch := ramp[idx]
+			b.WriteByte(ch)
+			b.WriteByte(ch)
+			b.WriteByte(ch)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%*s scale: '%c' = %.1f .. '%c' = %.1f\n", width, "", ramp[0], lo, ramp[len(ramp)-1], hi)
+	return b.String()
+}
+
+// Bars renders labeled horizontal bars scaled to maxWidth characters.
+func Bars(labels []string, vals []float64, maxWidth int) string {
+	if len(labels) != len(vals) || len(labels) == 0 {
+		return "(empty bars)\n"
+	}
+	if maxWidth < 1 {
+		maxWidth = 40
+	}
+	hi := math.Inf(-1)
+	for _, v := range vals {
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi <= 0 {
+		hi = 1
+	}
+	width := 0
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		n := int(vals[i] / hi * float64(maxWidth))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%*s |%s %.1f\n", width, l, strings.Repeat("#", n), vals[i])
+	}
+	return b.String()
+}
+
+func abbrev(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

@@ -1,0 +1,78 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeatmapShading(t *testing.T) {
+	s := Heatmap(
+		[]string{"r1", "r2"},
+		[]string{"a", "b"},
+		[][]float64{{0, 5}, {10, 5}},
+	)
+	if !strings.Contains(s, "r1") || !strings.Contains(s, "r2") {
+		t.Fatal("row labels missing")
+	}
+	if !strings.Contains(s, "@@@") {
+		t.Fatal("max cell should render darkest shade")
+	}
+	if !strings.Contains(s, "   ") {
+		t.Fatal("min cell should render lightest shade")
+	}
+	if !strings.Contains(s, "scale:") {
+		t.Fatal("scale legend missing")
+	}
+}
+
+func TestHeatmapNaNAndEmpty(t *testing.T) {
+	s := Heatmap([]string{"r"}, []string{"c"}, [][]float64{{math.NaN()}})
+	if !strings.Contains(s, "all-NaN") {
+		t.Fatalf("all-NaN map should say so, got %q", s)
+	}
+	if !strings.Contains(Heatmap(nil, nil, nil), "empty") {
+		t.Fatal("empty map should say so")
+	}
+	mixed := Heatmap([]string{"r"}, []string{"c", "d"}, [][]float64{{math.NaN(), 3}})
+	if !strings.Contains(mixed, "?") {
+		t.Fatal("NaN cell should render '?'")
+	}
+}
+
+func TestHeatmapConstant(t *testing.T) {
+	s := Heatmap([]string{"r"}, []string{"c", "d"}, [][]float64{{4, 4}})
+	if !strings.Contains(s, "scale:") {
+		t.Fatal("constant map must still render")
+	}
+}
+
+func TestBars(t *testing.T) {
+	s := Bars([]string{"alpha", "b"}, []float64{10, 5}, 20)
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 bars, got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], strings.Repeat("#", 20)) {
+		t.Fatal("max bar should reach full width")
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Fatalf("half bar should be 10 wide, got %d", strings.Count(lines[1], "#"))
+	}
+}
+
+func TestBarsDegenerate(t *testing.T) {
+	if !strings.Contains(Bars(nil, nil, 10), "empty") {
+		t.Fatal("empty bars should say so")
+	}
+	s := Bars([]string{"z"}, []float64{-1}, 10)
+	if strings.Contains(s, "#") {
+		t.Fatal("negative bar should render empty")
+	}
+}
+
+func TestAbbrev(t *testing.T) {
+	if abbrev("hello", 3) != "hel" || abbrev("ab", 5) != "ab" {
+		t.Fatal("abbrev wrong")
+	}
+}
