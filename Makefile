@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench perf
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector pass over the whole tree; exercises the checkerboard-parallel
+# solver and the experiment worker pool under -race.
+race:
+	$(GO) test -race ./...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Before/after performance report (see DESIGN.md §7 for the schema).
+perf:
+	$(GO) run ./cmd/rsu-bench -perf BENCH_1.json

@@ -6,6 +6,7 @@ import (
 	"rsu/internal/apps/stereo"
 	"rsu/internal/core"
 	"rsu/internal/experiments"
+	"rsu/internal/img"
 	"rsu/internal/mrf"
 	"rsu/internal/perf"
 	"rsu/internal/phase"
@@ -67,9 +68,10 @@ func BenchmarkExtBleaching(b *testing.B) { runExperiment(b, "ext-bleaching", 0.3
 
 // --- microbenchmarks of the sampler hot paths ---
 
-func benchUnitSample(b *testing.B, cfg core.Config, labels int) {
+func benchUnitSample(b *testing.B, cfg core.Config, labels int, legacy bool) {
 	b.Helper()
 	u := core.MustUnit(cfg, rng.NewXoshiro256(1), true)
+	u.SetLegacyKernels(legacy)
 	u.SetTemperature(20)
 	energies := make([]float64, labels)
 	for i := range energies {
@@ -81,9 +83,42 @@ func benchUnitSample(b *testing.B, cfg core.Config, labels int) {
 	}
 }
 
-func BenchmarkUnitSampleNew8(b *testing.B)   { benchUnitSample(b, core.NewRSUG(), 8) }
-func BenchmarkUnitSampleNew56(b *testing.B)  { benchUnitSample(b, core.NewRSUG(), 56) }
-func BenchmarkUnitSamplePrev56(b *testing.B) { benchUnitSample(b, core.PrevRSUG(), 56) }
+func BenchmarkUnitSampleNew8(b *testing.B)   { benchUnitSample(b, core.NewRSUG(), 8, false) }
+func BenchmarkUnitSampleNew56(b *testing.B)  { benchUnitSample(b, core.NewRSUG(), 56, false) }
+func BenchmarkUnitSamplePrev56(b *testing.B) { benchUnitSample(b, core.PrevRSUG(), 56, false) }
+
+// The Legacy variants run the original reference kernels (per-label -log(u)
+// exponential draws, float energy round-trip); compare against the defaults
+// above to see the fast-kernel gain.
+func BenchmarkUnitSampleLegacyNew8(b *testing.B)   { benchUnitSample(b, core.NewRSUG(), 8, true) }
+func BenchmarkUnitSampleLegacyNew56(b *testing.B)  { benchUnitSample(b, core.NewRSUG(), 56, true) }
+func BenchmarkUnitSampleLegacyPrev56(b *testing.B) { benchUnitSample(b, core.PrevRSUG(), 56, true) }
+
+// benchLabelEnergies times the per-pixel energy stage on a stereo problem,
+// either through the precomputed pairwise LUT (tables=true, the solver
+// default) or the direct per-call evaluation it replaced.
+func benchLabelEnergies(b *testing.B, tables bool) {
+	b.Helper()
+	prob := stereo.BuildProblem(synth.Poster(1), stereo.DefaultParams())
+	tab := prob.BuildTables()
+	lab := img.NewLabels(prob.W, prob.H)
+	for i := range lab.L {
+		lab.L[i] = i % prob.Labels
+	}
+	dst := make([]float64, prob.Labels)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := i%prob.W, (i/prob.W)%prob.H
+		if tables {
+			tab.LabelEnergies(dst, lab, x, y)
+		} else {
+			prob.LabelEnergies(dst, tab.Singles, lab, x, y)
+		}
+	}
+}
+
+func BenchmarkLabelEnergiesTables(b *testing.B) { benchLabelEnergies(b, true) }
+func BenchmarkLabelEnergiesDirect(b *testing.B) { benchLabelEnergies(b, false) }
 
 func BenchmarkSoftwareSample56(b *testing.B) {
 	s := core.NewSoftwareSampler(rng.NewXoshiro256(1))
@@ -162,6 +197,24 @@ func BenchmarkGibbsSweepStereo(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := stereo.Solve(pair, u, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGibbsSweepStereoParallel is the full-app solve on the
+// checkerboard-parallel path: per-worker sampler streams, 4 workers.
+func BenchmarkGibbsSweepStereoParallel(b *testing.B) {
+	pair := synth.Poster(1)
+	p := stereo.DefaultParams()
+	p.Schedule = mrf.Schedule{T0: 32, Alpha: 0.99, Iterations: 1}
+	p.Workers = 4
+	p.SamplerFactory = core.StreamFactory(1, func(src rng.Source) core.LabelSampler {
+		return core.MustUnit(core.NewRSUG(), src, true)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stereo.Solve(pair, nil, p); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,17 +8,50 @@
 //	rsu-bench -run fig5a
 //	rsu-bench -run all -out results/ | tee results/report.txt
 //	rsu-bench -run fig8 -iterscale 0.25   # quick pass
+//	rsu-bench -perf BENCH_1.json          # before/after performance report
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"rsu/internal/benchkit"
 	"rsu/internal/experiments"
 )
+
+// runPerf executes the before/after performance suite and writes the
+// machine-readable report. The suite compares the seed implementation
+// (serial solver, per-call energy evaluation, legacy sampling kernels)
+// against the current defaults; the full-app pair runs the parallel solver,
+// so GOMAXPROCS is raised to at least 4 to exercise it.
+func runPerf(path string, workers int) error {
+	// Fail on an unwritable path before spending a minute on the suite
+	// (O_CREATE without O_TRUNC leaves any existing report intact).
+	probe, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	probe.Close()
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	rep := benchkit.Run(workers)
+	fmt.Print(rep.String())
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
 
 func main() {
 	var (
@@ -28,8 +61,18 @@ func main() {
 		scale     = flag.Int("scale", 1, "synthetic dataset scale factor")
 		iterScale = flag.Float64("iterscale", 1, "multiplier on annealing iterations (use <1 for a quick pass)")
 		out       = flag.String("out", "", "directory for PGM outputs of figure experiments")
+		perf      = flag.String("perf", "", "run the before/after performance suite and write the JSON report to this path")
+		workers   = flag.Int("workers", 0, "design-point/solver workers: 0 = GOMAXPROCS, 1 = serial")
 	)
 	flag.Parse()
+
+	if *perf != "" {
+		if err := runPerf(*perf, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "perf suite failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
@@ -47,6 +90,7 @@ func main() {
 		Scale:     *scale,
 		IterScale: *iterScale,
 		OutDir:    *out,
+		Workers:   *workers,
 	}
 
 	var ids []string

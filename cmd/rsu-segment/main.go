@@ -17,7 +17,6 @@ import (
 	"rsu/internal/apps/segment"
 	"rsu/internal/core"
 	"rsu/internal/img"
-	"rsu/internal/rng"
 	"rsu/internal/synth"
 )
 
@@ -32,6 +31,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		scale   = flag.Int("scale", 1, "synthetic dataset scale factor")
 		iters   = flag.Int("iters", 0, "override Gibbs iterations (0 = default 30)")
+		workers = flag.Int("workers", 0, "solver workers: 0 = GOMAXPROCS, 1 = serial")
 		out     = flag.String("out", "", "directory for PGM outputs")
 	)
 	flag.Parse()
@@ -41,18 +41,12 @@ func main() {
 		p.Iterations = *iters
 	}
 
-	var s core.LabelSampler
-	src := rng.NewXoshiro256(*seed)
-	switch *sampler {
-	case "software":
-		s = core.NewSoftwareSampler(src)
-	case "new":
-		s = core.MustUnit(core.NewRSUG(), src, true)
-	case "prev":
-		s = core.MustUnit(core.PrevRSUG(), src, true)
-	default:
-		log.Fatalf("unknown sampler %q", *sampler)
+	build, err := core.SamplerBuilder(*sampler)
+	if err != nil {
+		log.Fatal(err)
 	}
+	p.SamplerFactory = core.StreamFactory(*seed, build)
+	p.Workers = *workers
 
 	var scene *synth.SegScene
 	if *pgmPath != "" {
@@ -68,7 +62,7 @@ func main() {
 		scene = synth.BSDLike(*index, *k, *scale)
 	}
 
-	res, err := segment.Solve(scene, s, p)
+	res, err := segment.Solve(scene, nil, p)
 	if err != nil {
 		log.Fatal(err)
 	}

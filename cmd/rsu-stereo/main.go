@@ -17,7 +17,6 @@ import (
 	"rsu/internal/apps/stereo"
 	"rsu/internal/core"
 	"rsu/internal/img"
-	"rsu/internal/rng"
 	"rsu/internal/synth"
 )
 
@@ -30,6 +29,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		scale   = flag.Int("scale", 1, "dataset scale factor")
 		iters   = flag.Int("iters", 0, "override annealing iterations (0 = default 500)")
+		workers = flag.Int("workers", 0, "solver workers: 0 = GOMAXPROCS, 1 = serial")
 		out     = flag.String("out", "", "directory for PGM outputs")
 	)
 	flag.Parse()
@@ -51,20 +51,14 @@ func main() {
 		p.Schedule.Iterations = *iters
 	}
 
-	var s core.LabelSampler
-	src := rng.NewXoshiro256(*seed)
-	switch *sampler {
-	case "software":
-		s = core.NewSoftwareSampler(src)
-	case "new":
-		s = core.MustUnit(core.NewRSUG(), src, true)
-	case "prev":
-		s = core.MustUnit(core.PrevRSUG(), src, true)
-	default:
-		log.Fatalf("unknown sampler %q", *sampler)
+	build, err := core.SamplerBuilder(*sampler)
+	if err != nil {
+		log.Fatal(err)
 	}
+	p.SamplerFactory = core.StreamFactory(*seed, build)
+	p.Workers = *workers
 
-	res, err := stereo.Solve(pair, s, p)
+	res, err := stereo.Solve(pair, nil, p)
 	if err != nil {
 		log.Fatal(err)
 	}

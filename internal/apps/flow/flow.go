@@ -32,6 +32,15 @@ type Params struct {
 	BorderCost float64
 	// Schedule is the simulated-annealing schedule.
 	Schedule mrf.Schedule
+	// SamplerFactory, when non-nil, builds one sampler per RNG stream and
+	// switches the solvers to the checkerboard-parallel path (the sampler /
+	// newSampler arguments are then ignored). The pyramid solver assigns
+	// level l, worker w the stream l*workers + w so every level draws from
+	// fresh streams. See core.StreamFactory.
+	SamplerFactory func(stream int) core.LabelSampler
+	// Workers selects the parallel solver's worker count when
+	// SamplerFactory is set: 0 = GOMAXPROCS, 1 = exact serial behavior.
+	Workers int
 }
 
 // DefaultParams returns the tuned parameter set shared by all samplers.
@@ -90,8 +99,9 @@ type Result struct {
 // scores the result with the Middlebury average end-point error.
 func Solve(pair *synth.FlowPair, sampler core.LabelSampler, p Params) (*Result, error) {
 	prob := BuildProblem(pair, p)
-	lab, err := mrf.Solve(prob, sampler, p.Schedule, mrf.SolveOptions{
-		Init: initialLabels(pair),
+	lab, err := mrf.SolveWith(prob, sampler, p.SamplerFactory, p.Schedule, mrf.SolveOptions{
+		Init:    initialLabels(pair),
+		Workers: p.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,40 @@
+package flow
+
+import (
+	"testing"
+
+	"rsu/internal/core"
+	"rsu/internal/rng"
+	"rsu/internal/synth"
+)
+
+// TestPyramidParallelFactory drives both pyramid levels through the
+// checkerboard-parallel solver and checks quality plus run-to-run
+// determinism; newSampler may be nil once the factory is set.
+func TestPyramidParallelFactory(t *testing.T) {
+	pair := synth.LargeMotion(1)
+	p := pyramidParams()
+	p.SamplerFactory = core.StreamFactory(40, func(src rng.Source) core.LabelSampler {
+		return core.NewSoftwareSampler(src)
+	})
+	p.Workers = 2
+	pyr, err := SolvePyramid(pair, nil, p, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pyr.EPE > 2.2 {
+		t.Fatalf("parallel pyramid EPE %.3f too high", pyr.EPE)
+	}
+	again, err := SolvePyramid(pair, nil, p, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pyr.EPE != again.EPE {
+		t.Fatalf("parallel pyramid not deterministic: EPE %.6f vs %.6f", pyr.EPE, again.EPE)
+	}
+	for i := range pyr.Field.U {
+		if pyr.Field.U[i] != again.Field.U[i] || pyr.Field.V[i] != again.Field.V[i] {
+			t.Fatalf("parallel pyramid field differs at index %d", i)
+		}
+	}
+}

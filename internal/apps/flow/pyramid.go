@@ -113,7 +113,8 @@ type PyramidResult struct {
 // paper's image-pyramid route to motions beyond the RSU-G's 64-label
 // window (Sec. III-D-2): a 2-level pyramid with radius 3 covers ±9 pixels
 // while every individual solve stays at 49 labels. newSampler is invoked
-// once per level (samplers hold RNG state).
+// once per level (samplers hold RNG state); it is ignored (and may be nil)
+// when p.SamplerFactory selects the parallel solver.
 func SolvePyramid(pair *synth.FlowPair, newSampler func(level int) core.LabelSampler, p Params, radius, levels int) (*PyramidResult, error) {
 	if levels < 1 {
 		return nil, fmt.Errorf("flow: need at least one pyramid level")
@@ -141,12 +142,26 @@ func SolvePyramid(pair *synth.FlowPair, newSampler func(level int) core.LabelSam
 			base = upsampleField(base, f0.W, f0.H)
 		}
 		prob := buildResidualProblem(f0, f1, base, radius, p)
-		s := newSampler(l)
-		if s == nil {
-			return nil, fmt.Errorf("flow: nil sampler for level %d", l)
-		}
 		zero := img.NewLabels(f0.W, f0.H).Fill(synth.VectorToLabel(0, 0, radius))
-		lab, err := mrf.Solve(prob, s, p.Schedule, mrf.SolveOptions{Init: zero})
+		var lab *img.Labels
+		var err error
+		if p.SamplerFactory != nil {
+			// One fresh stream per (level, worker) pair: levels run in
+			// sequence, so reusing worker streams across levels would
+			// correlate them.
+			level, workers := l, mrf.ResolveWorkers(p.Workers)
+			factory := func(w int) core.LabelSampler {
+				return p.SamplerFactory(level*workers + w)
+			}
+			lab, err = mrf.SolveAuto(prob, factory, p.Schedule,
+				mrf.SolveOptions{Init: zero, Workers: workers})
+		} else {
+			s := newSampler(l)
+			if s == nil {
+				return nil, fmt.Errorf("flow: nil sampler for level %d", l)
+			}
+			lab, err = mrf.Solve(prob, s, p.Schedule, mrf.SolveOptions{Init: zero})
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -34,6 +34,16 @@ type Model struct {
 	J float64
 	// H is the external field in the same units.
 	H float64
+	// SamplerFactory, when non-nil, builds one sampler per RNG stream and
+	// switches Run to the checkerboard-parallel solver (the sampler
+	// argument is then ignored). Checkerboard sweeps are the classic
+	// parallel heat-bath dynamics for the Ising model: one color class has
+	// no couplings within itself, so the stationary distribution is
+	// untouched. See core.StreamFactory.
+	SamplerFactory func(stream int) core.LabelSampler
+	// Workers selects the parallel solver's worker count when
+	// SamplerFactory is set: 0 = GOMAXPROCS, 1 = exact serial behavior.
+	Workers int
 }
 
 // DefaultModel returns a 32x32 lattice with J = 16, h = 0.
@@ -115,9 +125,11 @@ func (m Model) Run(s core.LabelSampler, T float64, burn, measure int, seed uint6
 	}
 	var obs Observables
 	count := 0
-	_, err := mrf.Solve(prob, s, mrf.Schedule{T0: T * m.J, Alpha: 1, Iterations: burn + measure},
+	_, err := mrf.SolveWith(prob, s, m.SamplerFactory,
+		mrf.Schedule{T0: T * m.J, Alpha: 1, Iterations: burn + measure},
 		mrf.SolveOptions{
-			Init: init,
+			Init:    init,
+			Workers: m.Workers,
 			OnSweep: func(iter int, lab *img.Labels) {
 				if iter < burn {
 					return

@@ -31,6 +31,13 @@ type Params struct {
 	Temperature float64
 	// KMeansIters bounds the Lloyd iterations used to fit segment means.
 	KMeansIters int
+	// SamplerFactory, when non-nil, builds one sampler per RNG stream and
+	// switches Solve to the checkerboard-parallel solver (the sampler
+	// argument is then ignored). See core.StreamFactory.
+	SamplerFactory func(stream int) core.LabelSampler
+	// Workers selects the parallel solver's worker count when
+	// SamplerFactory is set: 0 = GOMAXPROCS, 1 = exact serial behavior.
+	Workers int
 }
 
 // DefaultParams returns the tuned parameter set shared by all samplers.
@@ -140,9 +147,9 @@ func Solve(scene *synth.SegScene, sampler core.LabelSampler, p Params) (*Result,
 		}
 		init.L[i] = best
 	}
-	lab, err := mrf.Solve(prob, sampler,
+	lab, err := mrf.SolveWith(prob, sampler, p.SamplerFactory,
 		mrf.Schedule{T0: p.Temperature, Alpha: 1, Iterations: p.Iterations},
-		mrf.SolveOptions{Init: init})
+		mrf.SolveOptions{Init: init, Workers: p.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,41 @@
+package stereo
+
+import (
+	"testing"
+
+	"rsu/internal/core"
+	"rsu/internal/rng"
+)
+
+// TestSolveParallelFactory runs the checkerboard-parallel path through the
+// app driver: quality must match the serial solve, repeated runs must be
+// bit-identical, and the sampler argument must be ignored when the factory
+// is set.
+func TestSolveParallelFactory(t *testing.T) {
+	pair := smallPair()
+	p := fastParams()
+	serial, err := Solve(pair, core.MustUnit(core.NewRSUG(), rng.NewXoshiro256(6), true), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SamplerFactory = core.StreamFactory(6, func(src rng.Source) core.LabelSampler {
+		return core.MustUnit(core.NewRSUG(), src, true)
+	})
+	p.Workers = 3
+	par, err := Solve(pair, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.BP > serial.BP+12 {
+		t.Fatalf("parallel BP %v too far above serial %v", par.BP, serial.BP)
+	}
+	again, err := Solve(pair, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range par.Disparity.L {
+		if par.Disparity.L[i] != again.Disparity.L[i] {
+			t.Fatalf("parallel solve not deterministic at index %d", i)
+		}
+	}
+}

@@ -32,6 +32,13 @@ type Params struct {
 	OcclusionCost float64
 	// Schedule is the simulated-annealing schedule.
 	Schedule mrf.Schedule
+	// SamplerFactory, when non-nil, builds one sampler per RNG stream and
+	// switches Solve to the checkerboard-parallel solver (the sampler
+	// argument is then ignored). See core.StreamFactory.
+	SamplerFactory func(stream int) core.LabelSampler
+	// Workers selects the parallel solver's worker count when
+	// SamplerFactory is set: 0 = GOMAXPROCS, 1 = exact serial behavior.
+	Workers int
 }
 
 // DefaultParams returns the tuned parameter set used across the experiments.
@@ -94,7 +101,7 @@ const texturelessVarianceCutoff = 40
 // scores the result against ground truth using the paper's metrics.
 func Solve(pair *synth.StereoPair, sampler core.LabelSampler, p Params) (*Result, error) {
 	prob := BuildProblem(pair, p)
-	lab, err := mrf.Solve(prob, sampler, p.Schedule, mrf.SolveOptions{})
+	lab, err := mrf.SolveWith(prob, sampler, p.SamplerFactory, p.Schedule, mrf.SolveOptions{Workers: p.Workers})
 	if err != nil {
 		return nil, err
 	}

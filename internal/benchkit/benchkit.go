@@ -1,0 +1,244 @@
+// Package benchkit measures the repository's performance-critical paths
+// before and after the optimized implementations: the legacy sampling
+// kernels vs the categorical/inverse-CDF fast kernels, the direct
+// per-call energy evaluation vs the pairwise-distance LUT, and the serial
+// solver vs the checkerboard-parallel solver. cmd/rsu-bench -perf runs the
+// suite and writes the machine-readable BENCH_<n>.json report that tracks
+// the performance trajectory across PRs.
+package benchkit
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"rsu/internal/apps/stereo"
+	"rsu/internal/core"
+	"rsu/internal/img"
+	"rsu/internal/mrf"
+	"rsu/internal/rng"
+	"rsu/internal/synth"
+)
+
+// Schema identifies the report format.
+const Schema = "rsu-bench-perf/v1"
+
+// Result is one before/after benchmark pair.
+type Result struct {
+	Name       string  `json:"name"`
+	NsOpBefore float64 `json:"ns_op_before"`
+	NsOpAfter  float64 `json:"ns_op_after"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// Report is the full suite output.
+type Report struct {
+	Schema     string   `json:"schema"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Workers    int      `json:"workers"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// measure times fn(n) with testing.B-style calibration: n grows until one
+// run takes at least minTime, and the fastest of three such runs wins
+// (per-op noise shrinks as n grows).
+func measure(minTime time.Duration, fn func(n int)) float64 {
+	n := 1
+	var elapsed time.Duration
+	for {
+		start := time.Now()
+		fn(n)
+		elapsed = time.Since(start)
+		if elapsed >= minTime || n >= 1<<30 {
+			break
+		}
+		grow := int64(n) * 2
+		if elapsed > 0 {
+			// Aim directly for 1.2x minTime.
+			grow = int64(float64(n) * 1.2 * float64(minTime) / float64(elapsed))
+			if grow < int64(n)+1 {
+				grow = int64(n) + 1
+			}
+			if grow > int64(n)*10 {
+				grow = int64(n) * 10
+			}
+		}
+		n = int(grow)
+	}
+	best := float64(elapsed) / float64(n)
+	for r := 0; r < 2; r++ {
+		start := time.Now()
+		fn(n)
+		if v := float64(time.Since(start)) / float64(n); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func pair(name string, minTime time.Duration, before, after func(n int)) Result {
+	b := measure(minTime, before)
+	a := measure(minTime, after)
+	return Result{Name: name, NsOpBefore: b, NsOpAfter: a, Speedup: b / a}
+}
+
+// benchEnergies builds the energy vector the Unit.Sample benchmarks share.
+func benchEnergies(labels int) []float64 {
+	energies := make([]float64, labels)
+	for i := range energies {
+		energies[i] = float64(i * 200 / labels)
+	}
+	return energies
+}
+
+// unitSamplePair benchmarks Unit.Sample with legacy vs fast kernels.
+func unitSamplePair(name string, cfg core.Config, labels int) Result {
+	run := func(legacy bool) func(n int) {
+		return func(n int) {
+			u := core.MustUnit(cfg, rng.NewXoshiro256(1), true)
+			u.SetLegacyKernels(legacy)
+			u.SetTemperature(20)
+			energies := benchEnergies(labels)
+			cur := 0
+			for i := 0; i < n; i++ {
+				cur = u.Sample(energies, cur)
+			}
+		}
+	}
+	return pair(name, 50*time.Millisecond, run(true), run(false))
+}
+
+// labelEnergiesPair benchmarks the energy stage: direct per-call evaluation
+// vs the precomputed pairwise-distance LUT, over every pixel of a stereo
+// problem.
+func labelEnergiesPair() Result {
+	prob := stereo.BuildProblem(synth.Poster(1), stereo.DefaultParams())
+	tab := prob.BuildTables()
+	lab := img.NewLabels(prob.W, prob.H)
+	for i := range lab.L {
+		lab.L[i] = i % prob.Labels
+	}
+	dst := make([]float64, prob.Labels)
+	before := func(n int) {
+		for i := 0; i < n; i++ {
+			x, y := i%prob.W, (i/prob.W)%prob.H
+			prob.LabelEnergies(dst, tab.Singles, lab, x, y)
+		}
+	}
+	after := func(n int) {
+		for i := 0; i < n; i++ {
+			x, y := i%prob.W, (i/prob.W)%prob.H
+			tab.LabelEnergies(dst, lab, x, y)
+		}
+	}
+	return pair("label-energies-stereo", 50*time.Millisecond, before, after)
+}
+
+// stereoSweeps is the annealing slice the full-app benchmark runs: enough
+// sweeps to dominate setup costs while keeping the suite fast.
+const stereoSweeps = 12
+
+// stereoFullAppPair benchmarks the end-to-end stereo hot loop: the seed
+// implementation (serial sweeps, per-call LabelEnergies, legacy kernels)
+// against the current default path (checkerboard-parallel solver with
+// `workers` workers, LUT energy stage, fast kernels).
+func stereoFullAppPair(workers int) Result {
+	pairData := synth.Poster(1)
+	params := stereo.DefaultParams()
+	prob := stereo.BuildProblem(pairData, params)
+	sched := mrf.Schedule{T0: 32, Alpha: 0.99, Iterations: stereoSweeps}
+
+	before := func(n int) {
+		for it := 0; it < n; it++ {
+			// The pre-optimization solver loop: raster scan, direct energy
+			// evaluation, legacy sampling kernels.
+			u := core.MustUnit(core.NewRSUG(), rng.NewXoshiro256(1), true)
+			u.SetLegacyKernels(true)
+			singles := prob.BuildTables().Singles
+			lab := img.NewLabels(prob.W, prob.H)
+			energies := make([]float64, prob.Labels)
+			for k := 0; k < sched.Iterations; k++ {
+				u.SetTemperature(sched.Temperature(k))
+				for y := 0; y < prob.H; y++ {
+					for x := 0; x < prob.W; x++ {
+						prob.LabelEnergies(energies, singles, lab, x, y)
+						lab.Set(x, y, u.Sample(energies, lab.At(x, y)))
+					}
+				}
+			}
+		}
+	}
+	tab := prob.BuildTables()
+	after := func(n int) {
+		for it := 0; it < n; it++ {
+			factory := core.StreamFactory(1, func(src rng.Source) core.LabelSampler {
+				return core.MustUnit(core.NewRSUG(), src, true)
+			})
+			opts := mrf.SolveOptions{Workers: workers, Tables: tab}
+			if _, err := mrf.SolveAuto(prob, factory, sched, opts); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return pair("stereo-full-app", 400*time.Millisecond, before, after)
+}
+
+// scheduleTemperaturePair benchmarks a full annealing ladder's temperature
+// computation: the closed form vs the O(k) loop it replaced.
+func scheduleTemperaturePair() Result {
+	s := mrf.Schedule{T0: 32, Alpha: 0.9885, Iterations: 500}
+	before := func(n int) {
+		var sink float64
+		for i := 0; i < n; i++ {
+			for k := 0; k < s.Iterations; k++ {
+				t := s.T0
+				for j := 0; j < k; j++ {
+					t *= s.Alpha
+				}
+				if t < 1e-4 {
+					t = 1e-4
+				}
+				sink += t
+			}
+		}
+		_ = sink
+	}
+	after := func(n int) {
+		var sink float64
+		for i := 0; i < n; i++ {
+			for k := 0; k < s.Iterations; k++ {
+				sink += s.Temperature(k)
+			}
+		}
+		_ = sink
+	}
+	return pair("schedule-temperature-500", 50*time.Millisecond, before, after)
+}
+
+// Run executes the full suite. workers selects the parallel solver's worker
+// count for the full-app benchmark (0 = GOMAXPROCS). The acceptance target
+// is a >= 2x stereo-full-app speedup at GOMAXPROCS >= 4 plus single-thread
+// gains on the Unit.Sample and LabelEnergies micro-benchmarks.
+func Run(workers int) Report {
+	w := mrf.ResolveWorkers(workers)
+	rep := Report{Schema: Schema, GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: w}
+	rep.Benchmarks = []Result{
+		unitSamplePair("unit-sample-new8", core.NewRSUG(), 8),
+		unitSamplePair("unit-sample-new56", core.NewRSUG(), 56),
+		unitSamplePair("unit-sample-prev56", core.PrevRSUG(), 56),
+		labelEnergiesPair(),
+		scheduleTemperaturePair(),
+		stereoFullAppPair(w),
+	}
+	return rep
+}
+
+// String renders the report as an aligned table.
+func (r Report) String() string {
+	s := fmt.Sprintf("%s (GOMAXPROCS %d, workers %d)\n", r.Schema, r.GOMAXPROCS, r.Workers)
+	s += fmt.Sprintf("%-28s %14s %14s %9s\n", "benchmark", "before ns/op", "after ns/op", "speedup")
+	for _, b := range r.Benchmarks {
+		s += fmt.Sprintf("%-28s %14.1f %14.1f %8.2fx\n", b.Name, b.NsOpBefore, b.NsOpAfter, b.Speedup)
+	}
+	return s
+}

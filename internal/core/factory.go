@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+
+	"rsu/internal/rng"
+)
+
+// StreamSeed derives the RNG seed of parallel sampler stream i from a base
+// seed by SplitMix64 mixing. Each (seed, stream) pair maps to the same seed
+// no matter how many workers run, which is what keeps parallel solves
+// deterministic for a fixed worker count, and the avalanche mixing keeps the
+// streams statistically independent even for adjacent base seeds.
+func StreamSeed(seed uint64, stream int) uint64 {
+	return rng.NewSplitMix64(seed ^ (0x9e3779b97f4a7c15 * (uint64(stream) + 1))).Uint64()
+}
+
+// StreamFactory adapts a sampler constructor into the per-worker factory the
+// checkerboard-parallel solver needs: stream i receives its own xoshiro256**
+// source seeded with StreamSeed(seed, i). build is invoked once per stream.
+func StreamFactory(seed uint64, build func(src rng.Source) LabelSampler) func(stream int) LabelSampler {
+	return func(stream int) LabelSampler {
+		return build(rng.NewXoshiro256(StreamSeed(seed, stream)))
+	}
+}
+
+// SamplerBuilder maps the sampler name the command-line drivers share
+// ("software" | "new" | "prev") to a constructor over an RNG source, ready
+// to hand to StreamFactory.
+func SamplerBuilder(kind string) (func(src rng.Source) LabelSampler, error) {
+	switch kind {
+	case "software":
+		return func(src rng.Source) LabelSampler { return NewSoftwareSampler(src) }, nil
+	case "new":
+		return func(src rng.Source) LabelSampler { return MustUnit(NewRSUG(), src, true) }, nil
+	case "prev":
+		return func(src rng.Source) LabelSampler { return MustUnit(PrevRSUG(), src, true) }, nil
+	default:
+		return nil, fmt.Errorf("core: unknown sampler %q (want software | new | prev)", kind)
+	}
+}

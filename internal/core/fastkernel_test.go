@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"rsu/internal/rng"
+	"rsu/internal/stats"
+)
+
+// kernelTestEnergies is a batch of label-energy vectors exercising the
+// interesting regimes: near-ties, wide spreads (cut-off territory), and a
+// dominant label.
+func kernelTestEnergies() [][]float64 {
+	return [][]float64{
+		{0, 10, 20, 30, 40, 50, 60, 70},
+		{5, 5, 5, 5},
+		{0, 200, 210, 230},
+		{100, 101, 99, 150, 40},
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		{255, 0, 128, 64},
+	}
+}
+
+func kernelTestConfigs() []Config {
+	highRes := Config{Name: "hi-res", EnergyBits: 8, EnergyMax: 255,
+		LambdaBits: 6, Mode: ConvertScaledCutoff, TimeBits: 8, Truncation: 0.1, Tie: TieRandom}
+	intContinuous := Config{Name: "int-continuous", EnergyBits: 8, EnergyMax: 255,
+		LambdaBits: 4, Mode: ConvertScaledCutoffPow2, Tie: TieRandom}
+	return []Config{NewRSUG(), PrevRSUG(), highRes, intContinuous, FloatReference()}
+}
+
+// TestFastBinnedKernelBitIdentical pins the inverse-CDF binned draw to the
+// reference exponential draw: both transform the same uniform, so with the
+// same seed the whole Sample sequence must match draw for draw.
+func TestFastBinnedKernelBitIdentical(t *testing.T) {
+	for _, cfg := range []Config{NewRSUG(), PrevRSUG()} {
+		fast := MustUnit(cfg, rng.NewXoshiro256(900), true)
+		legacy := MustUnit(cfg, rng.NewXoshiro256(900), true)
+		legacy.SetLegacyKernels(true)
+		energies := kernelTestEnergies()
+		for _, T := range []float64{32, 8, 1, 0.2} {
+			fast.SetTemperature(T)
+			legacy.SetTemperature(T)
+			cur := 0
+			for i := 0; i < 5000; i++ {
+				e := energies[i%len(energies)]
+				a := fast.Sample(e, cur%len(e))
+				b := legacy.Sample(e, cur%len(e))
+				if a != b {
+					t.Fatalf("%s T=%v draw %d: fast %d, legacy %d", cfg.Name, T, i, a, b)
+				}
+				cur = a
+			}
+		}
+		if fast.Stats() != legacy.Stats() {
+			t.Fatalf("%s: stats diverge: fast %+v legacy %+v", cfg.Name, fast.Stats(), legacy.Stats())
+		}
+	}
+}
+
+// twoSampleChiSquare compares two equal-size label histograms:
+// X² = Σ (a-b)²/(a+b) is chi-square distributed with (#occupied bins - 1)
+// degrees of freedom under the null hypothesis of a shared distribution.
+// Histograms concentrated in a single bin (everything else cut off) are
+// trivially equivalent and report p = 1.
+func twoSampleChiSquare(a, b []int) float64 {
+	var x2 float64
+	df := -1
+	for i := range a {
+		s := float64(a[i] + b[i])
+		if s == 0 {
+			continue
+		}
+		d := float64(a[i] - b[i])
+		x2 += d * d / s
+		df++
+	}
+	if df < 1 {
+		return 1
+	}
+	return 1 - stats.ChiSquareCDF(x2, df)
+}
+
+// TestFastKernelsStatisticallyEquivalent draws large label histograms from
+// the fast and legacy kernels (independent streams) for representative
+// Lambda_bits/Time_bits design points and requires the chi-squared
+// two-sample test not to reject equality. This covers the categorical
+// continuous kernel, where the RNG consumption pattern (one uniform per
+// draw vs one per label) makes a bitwise comparison meaningless.
+func TestFastKernelsStatisticallyEquivalent(t *testing.T) {
+	const n = 60000
+	for _, cfg := range kernelTestConfigs() {
+		for ei, energies := range kernelTestEnergies() {
+			fast := MustUnit(cfg, rng.NewXoshiro256(uint64(1000+ei)), true)
+			legacy := MustUnit(cfg, rng.NewXoshiro256(uint64(5000+ei)), true)
+			legacy.SetLegacyKernels(true)
+			fast.SetTemperature(2)
+			legacy.SetTemperature(2)
+			ha := make([]int, len(energies))
+			hb := make([]int, len(energies))
+			for i := 0; i < n; i++ {
+				ha[fast.Sample(energies, i%len(energies))]++
+				hb[legacy.Sample(energies, i%len(energies))]++
+			}
+			if p := twoSampleChiSquare(ha, hb); p < 1e-3 {
+				t.Errorf("%s energies #%d: fast and legacy kernels differ (p=%.2g, fast=%v legacy=%v)",
+					cfg.Name, ei, p, ha, hb)
+			}
+		}
+	}
+}
+
+// TestFastQuantizedCodesMatchLegacy checks that the integer stage-1/2
+// pipeline emits exactly the decay-rate codes of the float round-trip, via
+// the Cutoffs counter and per-draw agreement under a shared seed.
+func TestFastQuantizedCodesMatchLegacy(t *testing.T) {
+	cfg := NewRSUG()
+	fast := MustUnit(cfg, rng.NewXoshiro256(77), false)
+	legacy := MustUnit(cfg, rng.NewXoshiro256(77), false)
+	legacy.SetLegacyKernels(true)
+	for T := 40.0; T > 0.05; T *= 0.7 {
+		fast.SetTemperature(T)
+		legacy.SetTemperature(T)
+		for _, e := range kernelTestEnergies() {
+			a := fast.Sample(e, 0)
+			b := legacy.Sample(e, 0)
+			if a != b {
+				t.Fatalf("T=%v energies %v: fast %d legacy %d", T, e, a, b)
+			}
+		}
+	}
+	if fast.Stats().Cutoffs != legacy.Stats().Cutoffs {
+		t.Fatalf("cutoff counts diverge: fast %d legacy %d",
+			fast.Stats().Cutoffs, legacy.Stats().Cutoffs)
+	}
+}
+
+// TestSurvivalTableMatchesDefinition checks the cached survival function
+// against its definition for the new design's code set.
+func TestSurvivalTableMatchesDefinition(t *testing.T) {
+	cfg := NewRSUG()
+	u := MustUnit(cfg, rng.NewXoshiro256(1), true)
+	for _, code := range []int{1, 2, 4, 8} {
+		s := u.survival(code)
+		if len(s) != cfg.TimeBins()+1 {
+			t.Fatalf("code %d: survival table length %d", code, len(s))
+		}
+		for b := 1; b <= cfg.TimeBins(); b++ {
+			if s[b] >= s[b-1] {
+				t.Fatalf("code %d: survival not strictly decreasing at bin %d", code, b)
+			}
+		}
+		if s[0] != 1 {
+			t.Fatalf("code %d: S(0) = %v, want 1", code, s[0])
+		}
+	}
+}

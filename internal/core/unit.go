@@ -33,22 +33,45 @@ type Stats struct {
 // Unit is the RSU-G functional simulator. It is not safe for concurrent use;
 // create one Unit (with its own rng.Source) per worker.
 type Unit struct {
-	cfg     Config
-	src     rng.Source
-	useLUT  bool
-	conv    Converter
-	T       float64
-	equant  quant.Quantizer
-	estep   float64
-	lambda0 float64
-	tmax    int
-	stats   Stats
+	cfg    Config
+	src    rng.Source
+	useLUT bool
+	conv   Converter
+	T      float64
+	equant quant.Quantizer
+	estep  float64
+	// escale/emaxCode mirror the quantizer's Encode parameters so the fast
+	// path can inline the encode without recomputing the scale per label;
+	// escale is built from the same expression as Encode's, so the rounded
+	// codes are bit-identical.
+	escale   float64
+	emaxCode int
+	lambda0  float64
+	tmax     int
+	stats    Stats
+	legacy   bool
+
+	// surv caches the binned-time survival function per decay-rate code:
+	// surv[code][b] = P(TTF > b) = exp(-code*lambda0*b). It depends only on
+	// the code, lambda_0 and the window size, so it survives temperature
+	// updates; rows are built lazily for the few codes a configuration emits.
+	surv [][]float64
+	// guide accelerates the inverse-CDF search: guide[code][k] is the
+	// smallest bin any uniform in slot [k/2^guideBits, (k+1)/2^guideBits)
+	// can land in, so a draw starts there and scans at most a slot's worth
+	// of bins forward.
+	guide [][]uint32
+	// lutTable aliases the LUT converter's table when that realization is
+	// active, letting the fast path index it directly instead of going
+	// through the Converter interface per label.
+	lutTable []int
 
 	// scratch buffers reused across Sample calls (Unit is single-threaded).
-	effBuf  []float64
-	codeBuf []int
-	rateBuf []float64
-	binBuf  []int
+	effBuf   []float64
+	codeBuf  []int
+	ecodeBuf []int
+	rateBuf  []float64
+	binBuf   []int
 }
 
 // NewUnit builds a Unit for configuration cfg driven by src. useLUT selects
@@ -66,6 +89,8 @@ func NewUnit(cfg Config, src rng.Source, useLUT bool) (*Unit, error) {
 	if cfg.EnergyBits > 0 {
 		u.equant = quant.Quantizer{Bits: cfg.EnergyBits, Min: 0, Max: cfg.EnergyMax}
 		u.estep = u.equant.Step()
+		u.emaxCode = u.equant.MaxCode()
+		u.escale = float64(u.emaxCode) / (cfg.EnergyMax - 0)
 	}
 	u.SetTemperature(1)
 	return u, nil
@@ -89,6 +114,18 @@ func (u *Unit) Stats() Stats { return u.stats }
 // ResetStats clears the counters.
 func (u *Unit) ResetStats() { u.stats = Stats{} }
 
+// SetLegacyKernels switches the Unit between the optimized sampling kernels
+// (the default) and the original reference kernels. Both sample the same
+// distributions — the fast binned path is an inverse-CDF transform of the
+// same uniform the reference path feeds to -log(u), and the fast continuous
+// path uses the min-of-exponentials ≡ categorical identity — so the flag
+// exists for the statistical-equivalence tests and for benchmarking the
+// before/after kernels against each other.
+func (u *Unit) SetLegacyKernels(on bool) { u.legacy = on }
+
+// LegacyKernels reports whether the reference kernels are selected.
+func (u *Unit) LegacyKernels() bool { return u.legacy }
+
 // SetTemperature folds the simulated-annealing temperature into the
 // energy-to-lambda conversion, rebuilding the LUT or boundary registers.
 func (u *Unit) SetTemperature(T float64) {
@@ -98,9 +135,12 @@ func (u *Unit) SetTemperature(T float64) {
 	u.T = T
 	if u.cfg.EnergyBits > 0 && u.cfg.LambdaBits > 0 {
 		if u.useLUT {
-			u.conv = NewLUTConverter(u.cfg, T)
+			lut := NewLUTConverter(u.cfg, T)
+			u.conv = lut
+			u.lutTable = lut.table
 		} else {
 			u.conv = NewBoundaryConverter(u.cfg, T)
+			u.lutTable = nil
 		}
 	}
 }
@@ -176,8 +216,14 @@ func (u *Unit) Sample(energies []float64, current int) int {
 	if cap(u.effBuf) < m {
 		u.effBuf = make([]float64, m)
 		u.codeBuf = make([]int, m)
+		u.ecodeBuf = make([]int, m)
 		u.rateBuf = make([]float64, m)
 		u.binBuf = make([]int, m)
+	}
+	if !u.legacy && u.cfg.EnergyBits > 0 && u.cfg.LambdaBits > 0 {
+		// Fully quantized pipeline: stages 1-2 stay in integer energy codes,
+		// skipping the code -> float -> code round-trip of the reference path.
+		return u.sampleQuantized(energies, current)
 	}
 	eff := u.effBuf[:m]
 	if u.cfg.EnergyBits > 0 {
@@ -242,6 +288,73 @@ func (u *Unit) Sample(energies []float64, current int) int {
 	return u.sampleBinnedCodes(codes, current)
 }
 
+// sampleQuantized is the integer fast path for EnergyBits > 0 and
+// LambdaBits > 0: encode once, subtract the minimum energy code when the mode
+// scales, and feed the integer difference straight to the converter. The
+// reference path decodes the energy code back to a float, subtracts, and
+// re-rounds — an exact round-trip (the difference of two code multiples of
+// the quantizer step re-rounds to the code difference), so the emitted
+// decay-rate codes are identical.
+func (u *Unit) sampleQuantized(energies []float64, current int) int {
+	m := len(energies)
+	ecodes := u.ecodeBuf[:m]
+	// Inlined Quantizer.Encode with the scale hoisted out of the loop. The
+	// quantizer's Min is 0, so the arithmetic matches Encode bit for bit;
+	// `e > 0` being false also covers NaN, which Encode maps to code 0.
+	scale, emax, maxCode := u.escale, u.cfg.EnergyMax, u.emaxCode
+	for i, e := range energies {
+		var ec int
+		if e > 0 {
+			if e >= emax {
+				ec = maxCode
+			} else {
+				ec = int(math.Round(e * scale))
+			}
+		}
+		ecodes[i] = ec
+	}
+	if u.cfg.scalesEnergy() {
+		min := ecodes[0]
+		for _, c := range ecodes[1:] {
+			if c < min {
+				min = c
+			}
+		}
+		for i := range ecodes {
+			ecodes[i] -= min
+		}
+	}
+	codes := u.codeBuf[:m]
+	if lt := u.lutTable; lt != nil {
+		// Direct LUT indexing: Encode keeps codes in [0, len(lt)-1] and the
+		// min-subtraction only lowers them, so no clamp or interface call is
+		// needed per label.
+		for i, ec := range ecodes {
+			c := lt[ec]
+			if c == 0 {
+				u.stats.Cutoffs++
+			}
+			codes[i] = c
+		}
+	} else {
+		for i, ec := range ecodes {
+			c := u.conv.Code(ec)
+			if c == 0 {
+				u.stats.Cutoffs++
+			}
+			codes[i] = c
+		}
+	}
+	if u.cfg.TimeBits <= 0 {
+		rates := u.rateBuf[:m]
+		for i, c := range codes {
+			rates[i] = float64(c)
+		}
+		return u.sampleContinuousRates(rates, current)
+	}
+	return u.sampleBinnedCodes(codes, current)
+}
+
 func (u *Unit) sampleContinuousFloat(eff []float64, current int) int {
 	rates := u.rateBuf[:len(eff)]
 	for i, e := range eff {
@@ -251,25 +364,55 @@ func (u *Unit) sampleContinuousFloat(eff []float64, current int) int {
 }
 
 // sampleContinuousRates picks the minimum of competing exponentials with the
-// given rates; zero-rate labels never fire.
+// given rates; zero-rate labels never fire. The fast kernel exploits the
+// identity argmin_i Exp(r_i) ~ Categorical(r_i / sum r): one uniform draw
+// replaces one math.Log per label, with exactly the same distribution.
 func (u *Unit) sampleContinuousRates(rates []float64, current int) int {
-	best := -1
-	bestT := math.Inf(1)
+	if u.legacy {
+		best := -1
+		bestT := math.Inf(1)
+		for i, r := range rates {
+			if r <= 0 {
+				continue
+			}
+			t := rng.Exponential(u.src, r)
+			if t < bestT {
+				bestT = t
+				best = i
+			}
+		}
+		if best < 0 {
+			u.stats.NoFire++
+			return current
+		}
+		return best
+	}
+	var total float64
+	for _, r := range rates {
+		if r > 0 {
+			total += r
+		}
+	}
+	if total <= 0 {
+		u.stats.NoFire++
+		return current
+	}
+	v := rng.Float64(u.src) * total
+	acc := 0.0
+	last := -1
 	for i, r := range rates {
 		if r <= 0 {
 			continue
 		}
-		t := rng.Exponential(u.src, r)
-		if t < bestT {
-			bestT = t
-			best = i
+		acc += r
+		last = i
+		if v < acc {
+			return i
 		}
 	}
-	if best < 0 {
-		u.stats.NoFire++
-		return current
-	}
-	return best
+	// Round-off can leave v marginally above the final acc; the last
+	// positive-rate label owns that sliver.
+	return last
 }
 
 func (u *Unit) sampleBinnedFloat(eff []float64, current int) int {
@@ -277,7 +420,7 @@ func (u *Unit) sampleBinnedFloat(eff []float64, current int) int {
 	bins := u.binBuf[:len(eff)]
 	for i, e := range eff {
 		rate := math.Exp(-e/u.T) * maxRate
-		bins[i] = u.drawBin(rate, i)
+		bins[i] = u.drawBin(rate)
 	}
 	return u.selectBin(bins, current)
 }
@@ -289,23 +432,96 @@ func (u *Unit) lambdaFloatFullScale() float64 { return 8 }
 
 func (u *Unit) sampleBinnedCodes(codes []int, current int) int {
 	bins := u.binBuf[:len(codes)]
-	for i, c := range codes {
-		if c <= 0 {
-			bins[i] = 0
-			continue
+	if u.legacy {
+		for i, c := range codes {
+			if c <= 0 {
+				bins[i] = 0
+				continue
+			}
+			bins[i] = u.drawBin(float64(c) * u.lambda0)
 		}
-		bins[i] = u.drawBin(float64(c)*u.lambda0, i)
+	} else {
+		for i, c := range codes {
+			if c <= 0 {
+				bins[i] = 0
+				continue
+			}
+			bins[i] = u.drawBinCode(c)
+		}
 	}
 	return u.selectBin(bins, current)
 }
 
 // drawBin samples one exponential TTF at the given absolute rate and returns
 // its 1-based time bin, or 0 if it truncates past the window.
-func (u *Unit) drawBin(rate float64, _ int) int {
+func (u *Unit) drawBin(rate float64) int {
 	t := rng.Exponential(u.src, rate)
 	b := int(math.Ceil(t))
 	if b < 1 {
 		b = 1
+	}
+	if b > u.tmax {
+		u.stats.Truncated++
+		return 0
+	}
+	return b
+}
+
+// guideBits sizes the inverse-CDF guide table (2^guideBits slots).
+const guideBits = 8
+
+// survival returns (building lazily) the cached survival table for a
+// decay-rate code, along with its guide table.
+func (u *Unit) survival(code int) []float64 {
+	if code >= len(u.surv) {
+		grownS := make([][]float64, code+1)
+		copy(grownS, u.surv)
+		u.surv = grownS
+		grownG := make([][]uint32, code+1)
+		copy(grownG, u.guide)
+		u.guide = grownG
+	}
+	if u.surv[code] == nil {
+		s := make([]float64, u.tmax+1)
+		r := float64(code) * u.lambda0
+		for b := 0; b <= u.tmax; b++ {
+			s[b] = math.Exp(-r * float64(b))
+		}
+		u.surv[code] = s
+
+		// guide[k] = smallest bin b with S(b) < (k+1)/2^guideBits, i.e. the
+		// smallest bin any uniform in slot k can map to; tmax+1 marks "every
+		// uniform in this slot truncates". Both S and the slot upper bound
+		// are monotone, so one forward pass fills all slots.
+		const slots = 1 << guideBits
+		g := make([]uint32, slots)
+		b := 1
+		for k := slots - 1; k >= 0; k-- {
+			upper := float64(k+1) / slots
+			for b <= u.tmax && s[b] >= upper {
+				b++
+			}
+			g[k] = uint32(b)
+		}
+		u.guide[code] = g
+	}
+	return u.surv[code]
+}
+
+// drawBinCode is the fast binned draw: with u ~ Uniform(0,1) the reference
+// bin ceil(-ln(u)/rate) equals the smallest b with u >= S(b) where
+// S(b) = exp(-rate*b), so one uniform plus a guided scan of the cached
+// survival table replaces the log call — the same inverse-CDF transform of
+// the same uniform, hence the same distribution. The guide table jumps to
+// the first bin the uniform's slot can reach; the scan then advances at
+// most a slot's width of survival values.
+func (u *Unit) drawBinCode(code int) int {
+	s := u.survival(code)
+	g := u.guide[code]
+	v := rng.Float64Open(u.src)
+	b := int(g[int(v*(1<<guideBits))])
+	for b <= u.tmax && v < s[b] {
+		b++
 	}
 	if b > u.tmax {
 		u.stats.Truncated++

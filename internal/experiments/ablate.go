@@ -24,27 +24,38 @@ type TieBreakResult struct {
 // the paper's coarse Time_bits, a deterministic first-evaluated-wins
 // comparator visibly degrades quality versus a random tie-break.
 func AblateTieBreak(o Options) (*TieBreakResult, error) {
-	res := &TieBreakResult{}
 	random := core.NewRSUG()
 	first := core.NewRSUG()
 	first.Tie = core.TieFirstWins
-	for _, pair := range synth.StereoPresets(o.scale()) {
-		sw, err := runStereoWith(o, pair, nil, "tie-sw-")
+	pairs := synth.StereoPresets(o.scale())
+	res := &TieBreakResult{
+		Datasets:   make([]string, len(pairs)),
+		SoftwareBP: make([]float64, len(pairs)),
+		RandomBP:   make([]float64, len(pairs)),
+		FirstBP:    make([]float64, len(pairs)),
+	}
+	// One design point per (dataset, policy) pair.
+	policies := []struct {
+		cfg *core.Config
+		tag string
+		out []float64
+	}{
+		{nil, "tie-sw-", res.SoftwareBP},
+		{&random, "tie-rand-", res.RandomBP},
+		{&first, "tie-first-", res.FirstBP},
+	}
+	err := o.forEach(len(pairs)*len(policies), func(i int) error {
+		pair, pol := pairs[i/len(policies)], policies[i%len(policies)]
+		res.Datasets[i/len(policies)] = pair.Name
+		r, err := runStereoWith(o, pair, pol.cfg, pol.tag)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ra, err := runStereoWith(o, pair, &random, "tie-rand-")
-		if err != nil {
-			return nil, err
-		}
-		fi, err := runStereoWith(o, pair, &first, "tie-first-")
-		if err != nil {
-			return nil, err
-		}
-		res.Datasets = append(res.Datasets, pair.Name)
-		res.SoftwareBP = append(res.SoftwareBP, sw.BP)
-		res.RandomBP = append(res.RandomBP, ra.BP)
-		res.FirstBP = append(res.FirstBP, fi.BP)
+		pol.out[i/len(policies)] = r.BP
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

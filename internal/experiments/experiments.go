@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"rsu/internal/apps/stereo"
 	"rsu/internal/core"
@@ -32,6 +33,12 @@ type Options struct {
 	// OutDir receives PGM renderings for the figure experiments; empty
 	// disables file output.
 	OutDir string
+	// Workers bounds the experiment runner's design-point parallelism:
+	// independent design points (sweep entries, datasets) fan across this
+	// many goroutines. 0 = GOMAXPROCS, 1 = serial. Results are identical
+	// for every worker count because each point derives its RNG stream
+	// from subSeed of its own tag, never from evaluation order.
+	Workers int
 }
 
 func (o Options) scale() int {
@@ -64,6 +71,47 @@ func (o Options) schedule(s mrf.Schedule) mrf.Schedule {
 	}
 	s.Iterations = n
 	return s
+}
+
+// forEach runs fn(0) .. fn(n-1) over the option's worker pool. Callers
+// write results into preallocated index-addressed slices, so the output is
+// independent of scheduling; the first error (by index) is returned.
+func (o Options) forEach(n int, fn func(i int) error) error {
+	workers := mrf.ResolveWorkers(o.Workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // subSeed derives a reproducible per-task seed.

@@ -34,22 +34,6 @@ func Barker(o Options) (*BarkerResult, error) {
 	p := stereoParams(o)
 	res := &BarkerResult{Dataset: pair.Name, Labels: pair.Labels}
 
-	g, err := stereo.Solve(pair, core.MustUnit(core.NewRSUG(), rng.NewXoshiro256(o.subSeed("bk-g")), true), p)
-	if err != nil {
-		return nil, err
-	}
-	res.GibbsBP = g.BP
-
-	bs, err := core.NewBarkerSampler(core.NewRSUG(), rng.NewXoshiro256(o.subSeed("bk-b")))
-	if err != nil {
-		return nil, err
-	}
-	b, err := stereo.Solve(pair, bs, p)
-	if err != nil {
-		return nil, err
-	}
-	res.BarkerBP = b.BP
-
 	// Work-matched: Gibbs evaluates M labels per update, Barker 2. Give
 	// Barker M/2 x the sweeps (capped to keep run time sane).
 	factor := pair.Labels / 2
@@ -61,15 +45,42 @@ func Barker(o Options) (*BarkerResult, error) {
 	pw.Schedule.Iterations = p.Schedule.Iterations * factor
 	// Slow the annealing proportionally so the temperature ladder matches.
 	pw.Schedule.Alpha = math.Pow(p.Schedule.Alpha, 1/float64(factor))
-	bw, err := core.NewBarkerSampler(core.NewRSUG(), rng.NewXoshiro256(o.subSeed("bk-w")))
+
+	// The three arms are independent design points; fan them.
+	err := o.forEach(3, func(i int) error {
+		switch i {
+		case 0:
+			g, err := stereo.Solve(pair, core.MustUnit(core.NewRSUG(), rng.NewXoshiro256(o.subSeed("bk-g")), true), p)
+			if err != nil {
+				return err
+			}
+			res.GibbsBP = g.BP
+		case 1:
+			bs, err := core.NewBarkerSampler(core.NewRSUG(), rng.NewXoshiro256(o.subSeed("bk-b")))
+			if err != nil {
+				return err
+			}
+			b, err := stereo.Solve(pair, bs, p)
+			if err != nil {
+				return err
+			}
+			res.BarkerBP = b.BP
+		case 2:
+			bw, err := core.NewBarkerSampler(core.NewRSUG(), rng.NewXoshiro256(o.subSeed("bk-w")))
+			if err != nil {
+				return err
+			}
+			w, err := stereo.Solve(pair, bw, pw)
+			if err != nil {
+				return err
+			}
+			res.BarkerWorkMatchedBP = w.BP
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	w, err := stereo.Solve(pair, bw, pw)
-	if err != nil {
-		return nil, err
-	}
-	res.BarkerWorkMatchedBP = w.BP
 	return res, nil
 }
 

@@ -21,20 +21,30 @@ type Fig3Result struct {
 // Fig3 reproduces Fig. 3: the previous RSU-G produces BP > ~85% while the
 // software baseline converges.
 func Fig3(o Options) (*Fig3Result, error) {
-	res := &Fig3Result{}
 	prev := core.PrevRSUG()
-	for _, pair := range synth.StereoPresets(o.scale()) {
+	pairs := synth.StereoPresets(o.scale())
+	res := &Fig3Result{
+		Datasets: make([]string, len(pairs)),
+		Software: make([]float64, len(pairs)),
+		PrevRSUG: make([]float64, len(pairs)),
+	}
+	err := o.forEach(len(pairs), func(i int) error {
+		pair := pairs[i]
 		sw, err := runStereoWith(o, pair, nil, "fig3-sw-")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pv, err := runStereoWith(o, pair, &prev, "fig3-prev-")
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Datasets = append(res.Datasets, pair.Name)
-		res.Software = append(res.Software, sw.BP)
-		res.PrevRSUG = append(res.PrevRSUG, pv.BP)
+		res.Datasets[i] = pair.Name
+		res.Software[i] = sw.BP
+		res.PrevRSUG[i] = pv.BP
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -131,28 +141,43 @@ type EnergyBitsResult struct {
 // float reference while fewer bits degrade quality. Lambda and time stay at
 // float precision (the paper's sequential evaluation methodology).
 func EnergyBits(o Options) (*EnergyBitsResult, error) {
-	res := &EnergyBitsResult{Bits: []int{2, 3, 4, 6, 8}}
-	for _, pair := range synth.StereoPresets(o.scale()) {
-		res.Datasets = append(res.Datasets, pair.Name)
-		var row []float64
-		for _, bits := range res.Bits {
-			cfg := core.Config{
-				Name:       fmt.Sprintf("E%d-float", bits),
-				EnergyBits: bits, EnergyMax: 255,
-				Mode: core.ConvertScaled, Tie: core.TieRandom,
-			}
-			r, err := runStereoWith(o, pair, &cfg, fmt.Sprintf("ebits%d-", bits))
+	pairs := synth.StereoPresets(o.scale())
+	res := &EnergyBitsResult{
+		Bits:     []int{2, 3, 4, 6, 8},
+		Datasets: make([]string, len(pairs)),
+		BP:       make([][]float64, len(pairs)),
+		FloatRef: make([]float64, len(pairs)),
+	}
+	cols := len(res.Bits) + 1 // per-dataset: one point per bit width + float ref
+	for i, pair := range pairs {
+		res.Datasets[i] = pair.Name
+		res.BP[i] = make([]float64, len(res.Bits))
+	}
+	err := o.forEach(len(pairs)*cols, func(i int) error {
+		pair, j := pairs[i/cols], i%cols
+		if j == len(res.Bits) {
+			sw, err := runStereoWith(o, pair, nil, "ebits-float-")
 			if err != nil {
-				return nil, err
+				return err
 			}
-			row = append(row, r.BP)
+			res.FloatRef[i/cols] = sw.BP
+			return nil
 		}
-		res.BP = append(res.BP, row)
-		sw, err := runStereoWith(o, pair, nil, "ebits-float-")
+		bits := res.Bits[j]
+		cfg := core.Config{
+			Name:       fmt.Sprintf("E%d-float", bits),
+			EnergyBits: bits, EnergyMax: 255,
+			Mode: core.ConvertScaled, Tie: core.TieRandom,
+		}
+		r, err := runStereoWith(o, pair, &cfg, fmt.Sprintf("ebits%d-", bits))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.FloatRef = append(res.FloatRef, sw.BP)
+		res.BP[i/cols][j] = r.BP
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -199,33 +224,43 @@ func fig5aVariants() []struct {
 // sweeping Lambda_bits from 3 to 7 for each conversion variant, with
 // continuous (float) time measurement per the sequential methodology.
 func Fig5a(o Options) (*Fig5aResult, error) {
-	res := &Fig5aResult{LambdaBits: []int{3, 4, 5, 6, 7}}
+	variants := fig5aVariants()
 	pairs := synth.StereoPresets(o.scale())
-	for _, v := range fig5aVariants() {
-		res.Variants = append(res.Variants, v.name)
-		var curve []float64
-		for _, bits := range res.LambdaBits {
-			if v.mode == core.ConvertScaledCutoffPow2 && bits < 2 {
-				curve = append(curve, 0)
-				continue
-			}
-			cfg := core.Config{
-				Name:       fmt.Sprintf("%s-L%d", v.name, bits),
-				EnergyBits: 8, EnergyMax: 255,
-				LambdaBits: bits, Mode: v.mode,
-				Tie: core.TieRandom,
-			}
-			var sum float64
-			for _, pair := range pairs {
-				r, err := runStereoWith(o, pair, &cfg, fmt.Sprintf("fig5a-%s-%d-", v.name, bits))
-				if err != nil {
-					return nil, err
-				}
-				sum += r.BP
-			}
-			curve = append(curve, sum/float64(len(pairs)))
+	res := &Fig5aResult{
+		LambdaBits: []int{3, 4, 5, 6, 7},
+		Variants:   make([]string, len(variants)),
+		AvgBP:      make([][]float64, len(variants)),
+	}
+	for i, v := range variants {
+		res.Variants[i] = v.name
+		res.AvgBP[i] = make([]float64, len(res.LambdaBits))
+	}
+	cols := len(res.LambdaBits)
+	err := o.forEach(len(variants)*cols, func(i int) error {
+		v, j := variants[i/cols], i%cols
+		bits := res.LambdaBits[j]
+		if v.mode == core.ConvertScaledCutoffPow2 && bits < 2 {
+			return nil
 		}
-		res.AvgBP = append(res.AvgBP, curve)
+		cfg := core.Config{
+			Name:       fmt.Sprintf("%s-L%d", v.name, bits),
+			EnergyBits: 8, EnergyMax: 255,
+			LambdaBits: bits, Mode: v.mode,
+			Tie: core.TieRandom,
+		}
+		var sum float64
+		for _, pair := range pairs {
+			r, err := runStereoWith(o, pair, &cfg, fmt.Sprintf("fig5a-%s-%d-", v.name, bits))
+			if err != nil {
+				return err
+			}
+			sum += r.BP
+		}
+		res.AvgBP[i/cols][j] = sum / float64(len(pairs))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -341,27 +376,33 @@ func Fig8(o Options) (*Fig8Result, error) {
 		return nil, err
 	}
 	res.SoftwareBP = sw.BP
-	for _, tb := range res.TimeBits {
-		var row []float64
-		for _, tr := range res.Truncations {
-			// The deterministic first-wins comparator is what makes timing
-			// precision and truncation trade off (the paper's diagonal):
-			// tie pile-ups at the window edges bias selection. See the
-			// tiebreak ablation — an unbiased comparator flattens this map.
-			cfg := core.Config{
-				Name:       fmt.Sprintf("T%d-%.2f", tb, tr),
-				EnergyBits: 8, EnergyMax: 255,
-				LambdaBits: 4, Mode: core.ConvertScaledCutoffPow2,
-				TimeBits: tb, Truncation: tr,
-				Tie: core.TieFirstWins,
-			}
-			r, err := runStereoWith(o, pair, &cfg, fmt.Sprintf("fig8-%d-%v-", tb, tr))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, r.BP)
+	res.BP = make([][]float64, len(res.TimeBits))
+	for i := range res.BP {
+		res.BP[i] = make([]float64, len(res.Truncations))
+	}
+	cols := len(res.Truncations)
+	err = o.forEach(len(res.TimeBits)*cols, func(i int) error {
+		tb, tr := res.TimeBits[i/cols], res.Truncations[i%cols]
+		// The deterministic first-wins comparator is what makes timing
+		// precision and truncation trade off (the paper's diagonal):
+		// tie pile-ups at the window edges bias selection. See the
+		// tiebreak ablation — an unbiased comparator flattens this map.
+		cfg := core.Config{
+			Name:       fmt.Sprintf("T%d-%.2f", tb, tr),
+			EnergyBits: 8, EnergyMax: 255,
+			LambdaBits: 4, Mode: core.ConvertScaledCutoffPow2,
+			TimeBits: tb, Truncation: tr,
+			Tie: core.TieFirstWins,
 		}
-		res.BP = append(res.BP, row)
+		r, err := runStereoWith(o, pair, &cfg, fmt.Sprintf("fig8-%d-%v-", tb, tr))
+		if err != nil {
+			return err
+		}
+		res.BP[i/cols][i%cols] = r.BP
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversAllIndices checks the pool visits every index exactly
+// once for assorted worker counts, including workers > n.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 16} {
+		o := Options{Workers: workers}
+		var counts [17]int32
+		if err := o.forEach(len(counts), func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachReturnsFirstErrorByIndex pins the error contract: the reported
+// error is the lowest-index failure, independent of scheduling.
+func TestForEachReturnsFirstErrorByIndex(t *testing.T) {
+	o := Options{Workers: 4}
+	boom := func(i int) error {
+		if i == 3 || i == 7 {
+			return fmt.Errorf("point %d failed", i)
+		}
+		return nil
+	}
+	err := o.forEach(10, boom)
+	if err == nil || err.Error() != "point 3 failed" {
+		t.Fatalf("got %v, want the index-3 error", err)
+	}
+	if err := o.forEach(10, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Options{Workers: 1}).forEach(3, func(i int) error {
+		if i == 1 {
+			return errors.New("serial stop")
+		}
+		if i == 2 {
+			t.Fatal("serial path must stop at the first error")
+		}
+		return nil
+	}); err == nil {
+		t.Fatal("serial path dropped the error")
+	}
+}
+
+// TestSweepIndependentOfWorkerCount runs a real sweep at several pool sizes
+// and requires numerically identical tables — the determinism contract of
+// per-point subSeed streams.
+func TestSweepIndependentOfWorkerCount(t *testing.T) {
+	base := Options{Seed: 11, IterScale: 0.03}
+	serial, err := Fig3(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5} {
+		o := base
+		o.Workers = workers
+		par, err := Fig3(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.String() != serial.String() {
+			t.Fatalf("workers=%d table differs from serial:\n%s\nvs\n%s", workers, par, serial)
+		}
+	}
+}

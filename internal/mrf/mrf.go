@@ -125,9 +125,78 @@ func (p *Problem) singletonTable() []float64 {
 	return tab
 }
 
+// Tables caches the per-Solve lookup structures of a Problem: the singleton
+// (data-term) table and a Labels×Labels pairwise LUT with PairWeight and
+// TruncateDist folded in. With the tables built, the energy stage is pure
+// table lookups — no per-call distance dispatch, math.Abs, or truncation
+// branches in the Gibbs inner loop. Solve builds them once per run;
+// multi-restart callers can build them once and reuse them across solves
+// via SolveOptions.Tables. Tables are read-only after construction and
+// safe to share across the parallel solver's workers.
+type Tables struct {
+	p *Problem
+	// Singles is the cached data term: index (y*W+x)*Labels + l.
+	Singles []float64
+	// Pair holds the smoothness energies: Pair[nb*Labels+l] is the doubleton
+	// energy of label l against neighbor label nb (weight and truncation
+	// applied), laid out so one neighbor's row is contiguous.
+	Pair []float64
+}
+
+// BuildTables precomputes the lookup tables for p.
+func (p *Problem) BuildTables() *Tables {
+	t := &Tables{p: p, Singles: p.singletonTable(), Pair: make([]float64, p.Labels*p.Labels)}
+	i := 0
+	for nb := 0; nb < p.Labels; nb++ {
+		for l := 0; l < p.Labels; l++ {
+			t.Pair[i] = p.PairWeight * p.pairDist(l, nb)
+			i++
+		}
+	}
+	return t
+}
+
+// pairRow returns the contiguous row of pairwise energies against neighbor
+// label nb: row[l] = PairWeight * dist(l, nb).
+func (t *Tables) pairRow(nb int) []float64 {
+	L := t.p.Labels
+	return t.Pair[nb*L : nb*L+L]
+}
+
+// addRow accumulates one neighbor's pairwise row into the energy vector.
+func addRow(dst, row []float64) {
+	_ = row[len(dst)-1]
+	for i := range dst {
+		dst[i] += row[i]
+	}
+}
+
+// LabelEnergies fills dst (length Labels) with the energy of every candidate
+// label at pixel (x, y) under the current labeling, using the precomputed
+// tables — the fast path of Problem.LabelEnergies.
+func (t *Tables) LabelEnergies(dst []float64, lab *img.Labels, x, y int) {
+	p := t.p
+	base := (y*p.W + x) * p.Labels
+	copy(dst, t.Singles[base:base+p.Labels])
+	if x > 0 {
+		addRow(dst, t.pairRow(lab.At(x-1, y)))
+	}
+	if x+1 < p.W {
+		addRow(dst, t.pairRow(lab.At(x+1, y)))
+	}
+	if y > 0 {
+		addRow(dst, t.pairRow(lab.At(x, y-1)))
+	}
+	if y+1 < p.H {
+		addRow(dst, t.pairRow(lab.At(x, y+1)))
+	}
+}
+
 // LabelEnergies fills dst with the energy of every candidate label at pixel
 // (x, y) under the current labeling — the quantity the RSU-G energy stage
-// computes (Eq. 1). Exposed for tests and the cycle-level simulator.
+// computes (Eq. 1). Exposed for tests and the cycle-level simulator; the
+// solvers use the Tables fast path, which the tests check against this
+// direct evaluation.
 func (p *Problem) LabelEnergies(dst []float64, singles []float64, lab *img.Labels, x, y int) {
 	base := (y*p.W + x) * p.Labels
 	for l := 0; l < p.Labels; l++ {

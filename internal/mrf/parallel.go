@@ -8,19 +8,46 @@ import (
 	"rsu/internal/img"
 )
 
+// checkerCells returns the linear pixel indices (y*W + x) of each
+// checkerboard color class, color 0 first. Pixels within one class share no
+// 4-neighborhood edge, so any partition of a class updates safely in
+// parallel.
+func checkerCells(w, h int) [2][]int32 {
+	var cells [2][]int32
+	for color := 0; color < 2; color++ {
+		cs := make([]int32, 0, (w*h+1)/2)
+		for y := 0; y < h; y++ {
+			for x := (y + color) % 2; x < w; x += 2 {
+				cs = append(cs, int32(y*w+x))
+			}
+		}
+		cells[color] = cs
+	}
+	return cells
+}
+
+// shardCells splits a color class into `workers` near-equal contiguous
+// shards of cells. Sharding cells rather than rows keeps every worker busy
+// even for short-and-wide grids (H < workers), where row sharding left
+// workers idle and silently degraded the parallelism.
+func shardCells(cells []int32, workers int) [][]int32 {
+	shards := make([][]int32, workers)
+	n := len(cells)
+	for w := 0; w < workers; w++ {
+		shards[w] = cells[n*w/workers : n*(w+1)/workers]
+	}
+	return shards
+}
+
 // SolveParallel runs checkerboard-parallel simulated-annealing Gibbs
 // sampling: pixels of one checkerboard color have no 4-neighborhood edges
 // between them, so the discrete RSU-G accelerator (and this solver) can
 // update a whole color class concurrently without changing the Markov
 // chain's stationary distribution. One sampler is required per worker —
-// samplers hold per-stream RNG state and are not safe to share.
+// samplers hold per-stream RNG state and are not safe to share. For a fixed
+// seed set and worker count the result is bit-identical across runs: shard
+// assignment is deterministic and workers write disjoint pixels.
 func SolveParallel(p *Problem, samplers []core.LabelSampler, sched Schedule, opts SolveOptions) (*img.Labels, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if err := sched.Validate(); err != nil {
-		return nil, err
-	}
 	if len(samplers) == 0 {
 		return nil, fmt.Errorf("mrf: need at least one sampler")
 	}
@@ -29,33 +56,16 @@ func SolveParallel(p *Problem, samplers []core.LabelSampler, sched Schedule, opt
 			return nil, fmt.Errorf("mrf: nil sampler at index %d", i)
 		}
 	}
-	lab := opts.Init
-	if lab == nil {
-		lab = img.NewLabels(p.W, p.H)
-	} else {
-		if lab.W != p.W || lab.H != p.H {
-			return nil, fmt.Errorf("mrf: init labeling %dx%d does not match problem %dx%d", lab.W, lab.H, p.W, p.H)
-		}
-		lab = lab.Clone()
-	}
-	for i, l := range lab.L {
-		if l < 0 || l >= p.Labels {
-			return nil, fmt.Errorf("mrf: init label %d at index %d out of range [0,%d)", l, i, p.Labels)
-		}
+	lab, tab, err := prepare(p, sched, opts)
+	if err != nil {
+		return nil, err
 	}
 
-	singles := p.singletonTable()
-
-	// Pre-split each color class into contiguous worker shards of rows so
-	// each worker touches a disjoint pixel set.
 	workers := len(samplers)
-	type shard struct{ y0, y1 int }
-	shards := make([]shard, 0, workers)
-	rows := p.H
-	for w := 0; w < workers; w++ {
-		y0 := rows * w / workers
-		y1 := rows * (w + 1) / workers
-		shards = append(shards, shard{y0, y1})
+	cells := checkerCells(p.W, p.H)
+	var shards [2][][]int32
+	for color := 0; color < 2; color++ {
+		shards[color] = shardCells(cells[color], workers)
 	}
 
 	var wg sync.WaitGroup
@@ -65,22 +75,20 @@ func SolveParallel(p *Problem, samplers []core.LabelSampler, sched Schedule, opt
 			s.SetTemperature(T)
 		}
 		for color := 0; color < 2; color++ {
-			for w, sh := range shards {
-				if sh.y0 == sh.y1 {
+			for w, shard := range shards[color] {
+				if len(shard) == 0 {
 					continue
 				}
 				wg.Add(1)
-				go func(w int, sh shard) {
+				go func(s core.LabelSampler, shard []int32) {
 					defer wg.Done()
-					s := samplers[w]
 					energies := make([]float64, p.Labels)
-					for y := sh.y0; y < sh.y1; y++ {
-						for x := (y + color) % 2; x < p.W; x += 2 {
-							p.LabelEnergies(energies, singles, lab, x, y)
-							lab.Set(x, y, s.Sample(energies, lab.At(x, y)))
-						}
+					for _, c := range shard {
+						x, y := int(c)%p.W, int(c)/p.W
+						tab.LabelEnergies(energies, lab, x, y)
+						lab.Set(x, y, s.Sample(energies, lab.At(x, y)))
 					}
-				}(w, sh)
+				}(samplers[w], shard)
 			}
 			wg.Wait()
 		}

@@ -2,6 +2,8 @@ package mrf
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 
 	"rsu/internal/core"
 	"rsu/internal/img"
@@ -32,11 +34,10 @@ func (s Schedule) Validate() error {
 
 // Temperature returns the temperature of sweep k, floored at a small
 // positive value so late annealing iterations stay numerically valid.
+// The closed form keeps an N-sweep anneal at O(N) multiplications total
+// (the per-sweep O(k) loop it replaces made it O(N²)).
 func (s Schedule) Temperature(k int) float64 {
-	t := s.T0
-	for i := 0; i < k; i++ {
-		t *= s.Alpha
-	}
+	t := s.T0 * math.Pow(s.Alpha, float64(k))
 	const floor = 1e-4
 	if t < floor {
 		t = floor
@@ -51,6 +52,59 @@ type SolveOptions struct {
 	// OnSweep, if non-nil, is called after each sweep with the sweep index
 	// and the current labeling (shared storage — copy if retained).
 	OnSweep func(iter int, lab *img.Labels)
+	// Workers selects the solver parallelism for entry points that can
+	// construct one sampler per worker (SolveAuto and the application
+	// drivers): 0 = GOMAXPROCS, 1 = the exact serial Solve behavior,
+	// n > 1 = n checkerboard-parallel workers. Solve and SolveParallel
+	// themselves ignore it — their sampler arguments fix the worker count.
+	Workers int
+	// Tables, when non-nil, supplies precomputed lookup tables for the
+	// problem (see Problem.BuildTables), letting multi-restart callers
+	// amortize table construction across solves. Must have been built
+	// from the same Problem value passed to the solver.
+	Tables *Tables
+}
+
+// ResolveWorkers maps the SolveOptions.Workers knob onto a concrete worker
+// count: 0 (the default) means GOMAXPROCS, anything else is used as given.
+func ResolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// prepare validates the problem and schedule, clones or allocates the
+// initial labeling, and resolves the lookup tables — the entry sequence
+// shared by Solve and SolveParallel.
+func prepare(p *Problem, sched Schedule, opts SolveOptions) (*img.Labels, *Tables, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, nil, err
+	}
+	lab := opts.Init
+	if lab == nil {
+		lab = img.NewLabels(p.W, p.H)
+	} else {
+		if lab.W != p.W || lab.H != p.H {
+			return nil, nil, fmt.Errorf("mrf: init labeling %dx%d does not match problem %dx%d", lab.W, lab.H, p.W, p.H)
+		}
+		lab = lab.Clone()
+	}
+	for i, l := range lab.L {
+		if l < 0 || l >= p.Labels {
+			return nil, nil, fmt.Errorf("mrf: init label %d at index %d out of range [0,%d)", l, i, p.Labels)
+		}
+	}
+	tab := opts.Tables
+	if tab == nil {
+		tab = p.BuildTables()
+	} else if tab.p != p {
+		return nil, nil, fmt.Errorf("mrf: SolveOptions.Tables built from a different problem")
+	}
+	return lab, tab, nil
 }
 
 // Solve runs simulated-annealing Gibbs sampling on the problem using the
@@ -58,37 +112,19 @@ type SolveOptions struct {
 // SetTemperature is invoked at the start of every sweep, mirroring the
 // RSU-G's per-iteration LUT/boundary update.
 func Solve(p *Problem, sampler core.LabelSampler, sched Schedule, opts SolveOptions) (*img.Labels, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if err := sched.Validate(); err != nil {
-		return nil, err
-	}
 	if sampler == nil {
 		return nil, fmt.Errorf("mrf: nil sampler")
 	}
-	lab := opts.Init
-	if lab == nil {
-		lab = img.NewLabels(p.W, p.H)
-	} else {
-		if lab.W != p.W || lab.H != p.H {
-			return nil, fmt.Errorf("mrf: init labeling %dx%d does not match problem %dx%d", lab.W, lab.H, p.W, p.H)
-		}
-		lab = lab.Clone()
+	lab, tab, err := prepare(p, sched, opts)
+	if err != nil {
+		return nil, err
 	}
-	for i, l := range lab.L {
-		if l < 0 || l >= p.Labels {
-			return nil, fmt.Errorf("mrf: init label %d at index %d out of range [0,%d)", l, i, p.Labels)
-		}
-	}
-
-	singles := p.singletonTable()
 	energies := make([]float64, p.Labels)
 	for k := 0; k < sched.Iterations; k++ {
 		sampler.SetTemperature(sched.Temperature(k))
 		for y := 0; y < p.H; y++ {
 			for x := 0; x < p.W; x++ {
-				p.LabelEnergies(energies, singles, lab, x, y)
+				tab.LabelEnergies(energies, lab, x, y)
 				lab.Set(x, y, sampler.Sample(energies, lab.At(x, y)))
 			}
 		}
@@ -97,4 +133,35 @@ func Solve(p *Problem, sampler core.LabelSampler, sched Schedule, opts SolveOpti
 		}
 	}
 	return lab, nil
+}
+
+// SolveWith is the dispatch every application driver shares: a non-nil
+// factory selects the worker-parallel path (SolveAuto, honoring
+// opts.Workers) and overrides sampler; otherwise the serial Solve runs with
+// the given sampler, preserving the app's original behavior exactly.
+func SolveWith(p *Problem, sampler core.LabelSampler, factory func(worker int) core.LabelSampler, sched Schedule, opts SolveOptions) (*img.Labels, error) {
+	if factory != nil {
+		return SolveAuto(p, factory, sched, opts)
+	}
+	return Solve(p, sampler, sched, opts)
+}
+
+// SolveAuto dispatches between Solve and SolveParallel according to
+// opts.Workers, constructing one independently-seeded sampler per worker
+// through factory (called once for each worker index in [0, workers)).
+// Workers = 1 reproduces Solve with factory(0) exactly; any other value
+// runs the checkerboard-parallel solver.
+func SolveAuto(p *Problem, factory func(worker int) core.LabelSampler, sched Schedule, opts SolveOptions) (*img.Labels, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("mrf: nil sampler factory")
+	}
+	workers := ResolveWorkers(opts.Workers)
+	if workers == 1 {
+		return Solve(p, factory(0), sched, opts)
+	}
+	samplers := make([]core.LabelSampler, workers)
+	for w := range samplers {
+		samplers[w] = factory(w)
+	}
+	return SolveParallel(p, samplers, sched, opts)
 }
