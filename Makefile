@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench perf
+.PHONY: all build test vet race verify fuzz fuzz-smoke check bench perf
 
 all: check
 
@@ -18,7 +18,22 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: build vet test race
+# Statistical conformance battery + golden-trace regression (DESIGN.md §8).
+# Fails on any distribution non-conformance or golden drift.
+verify:
+	$(GO) run ./cmd/rsu-verify
+
+# Native Go fuzzing of the sampling pipeline and the lambda converter.
+fuzz:
+	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzUnitSample -fuzztime 30s
+	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzLambdaCode -fuzztime 30s
+
+# Short-budget fuzz pass for CI.
+fuzz-smoke:
+	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzUnitSample -fuzztime 10s
+	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzLambdaCode -fuzztime 10s
+
+check: build vet test race verify
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,85 @@
+// Command rsu-verify runs the statistical conformance battery and the
+// golden-trace regression checks outside of `go test` — the entry point for
+// `make verify` and CI gating.
+//
+// Usage:
+//
+//	rsu-verify                       # battery + golden comparison
+//	rsu-verify -samples 100000       # higher-power battery run
+//	rsu-verify -update-golden        # regenerate the golden trace files
+//	rsu-verify -skip-battery         # golden comparison only
+//
+// Exit status is non-zero when any battery check fails its
+// Bonferroni-corrected threshold or any golden trace drifts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rsu/internal/conformance"
+)
+
+func main() {
+	var (
+		goldenDir   = flag.String("golden", "internal/conformance/testdata/golden", "golden trace directory")
+		update      = flag.Bool("update-golden", false, "regenerate golden traces instead of comparing")
+		samples     = flag.Int("samples", 30000, "battery samples per (design point, energy vector, kernel)")
+		seed        = flag.Uint64("seed", 2026, "battery RNG seed")
+		alpha       = flag.Float64("alpha", 1e-3, "battery total false-rejection budget")
+		skipBattery = flag.Bool("skip-battery", false, "skip the distribution battery")
+		verbose     = flag.Bool("v", false, "print every battery check")
+	)
+	flag.Parse()
+
+	failed := false
+	if !*skipBattery {
+		rep, err := conformance.RunBattery(conformance.DefaultBattery(), conformance.BatteryOptions{
+			Samples: *samples, Alpha: *alpha, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsu-verify:", err)
+			os.Exit(2)
+		}
+		if *verbose {
+			for _, c := range rep.Checks {
+				status := "ok"
+				if c.Skipped {
+					status = "skip"
+				} else if c.P < rep.Threshold {
+					status = "FAIL"
+				}
+				fmt.Printf("%-4s %-20s %-13s %-15s energies %d  p=%.4g\n",
+					status, c.Point, c.Path, c.Kind, c.Energies, c.P)
+			}
+		}
+		for _, f := range rep.Failures() {
+			failed = true
+			fmt.Fprintf(os.Stderr, "rsu-verify: battery FAIL %s/%s energies %d (%s): p = %.3g < %.3g\n",
+				f.Point, f.Kind, f.Energies, f.Path, f.P, rep.Threshold)
+		}
+		fmt.Printf("battery: %d checks, paths %v, min p = %.4g (threshold %.3g)\n",
+			len(rep.Checks), rep.Paths(), rep.MinP(), rep.Threshold)
+	}
+
+	if *update {
+		if err := conformance.UpdateGolden(*goldenDir); err != nil {
+			fmt.Fprintln(os.Stderr, "rsu-verify:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("golden: regenerated %d traces in %s\n", len(conformance.Scenarios()), *goldenDir)
+	}
+	errs := conformance.VerifyGolden(*goldenDir)
+	for _, err := range errs {
+		failed = true
+		fmt.Fprintln(os.Stderr, "rsu-verify:", err)
+	}
+	if len(errs) == 0 {
+		fmt.Printf("golden: %d traces match\n", len(conformance.Scenarios()))
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

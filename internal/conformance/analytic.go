@@ -1,0 +1,280 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+
+	"rsu/internal/core"
+	"rsu/internal/quant"
+)
+
+// Outcome is the exact distribution of one core.Unit.Sample call: Win[i] is
+// the probability that label i fires first (ties resolved by the
+// configuration's policy), Keep is the probability that no label fires
+// within the detection window and the variable keeps its current label.
+// Win sums with Keep to 1.
+type Outcome struct {
+	Win  []float64
+	Keep float64
+}
+
+// Total returns the probability mass accounted for — 1 up to round-off.
+func (o Outcome) Total() float64 {
+	t := o.Keep
+	for _, w := range o.Win {
+		t += w
+	}
+	return t
+}
+
+// KernelPath names the sampling kernel a configuration dispatches to, one of
+// "quantized", "binned-codes", "binned-float", "continuous".
+func KernelPath(cfg core.Config) string {
+	switch {
+	case cfg.EnergyBits > 0 && cfg.LambdaBits > 0 && cfg.TimeBits > 0:
+		return "quantized"
+	case cfg.LambdaBits > 0 && cfg.TimeBits > 0:
+		return "binned-codes"
+	case cfg.LambdaBits <= 0 && cfg.TimeBits > 0:
+		return "binned-float"
+	default:
+		return "continuous"
+	}
+}
+
+// ExpectedOutcome derives the exact outcome distribution of
+// core.Unit.Sample(energies, ·) at temperature T for configuration cfg.
+//
+// The derivation re-implements the paper's pipeline from first principles —
+// it shares no sampling code with package core, only the exported
+// quantizer and the configuration's exported design parameters — so a bug
+// in any core kernel cannot cancel out of the comparison:
+//
+//	stage 1   e_i  -> ecode_i           uniform rounding over [0, EnergyMax]
+//	stage 2a  ecode_i -> ecode_i - min  when the mode applies decay-rate scaling
+//	stage 2b  code_i = post(floor(exp(-E'_i/T) * 2^L))   per conversion mode
+//	stage 3   TTF_i ~ Exp(code_i * lambda_0), discretized to 2^TimeBits bins
+//	stage 4   first bin wins; ties per policy; no fire keeps the current label
+//
+// Float-precision stages (a bit width of 0) skip their quantization exactly
+// as the Unit does.
+func ExpectedOutcome(cfg core.Config, T float64, energies []float64) (Outcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if T <= 0 {
+		return Outcome{}, fmt.Errorf("conformance: temperature must be positive")
+	}
+	m := len(energies)
+	if m == 0 {
+		return Outcome{}, fmt.Errorf("conformance: need at least one label")
+	}
+
+	// Stages 1 and 2a in integer energy codes when quantized (the difference
+	// of two code multiples of the step re-rounds to the code difference, so
+	// this matches both the float round-trip and the integer fast path).
+	eff := make([]float64, m)
+	if cfg.EnergyBits > 0 {
+		q := quant.Quantizer{Bits: cfg.EnergyBits, Min: 0, Max: cfg.EnergyMax}
+		step := q.Step()
+		codes := make([]int, m)
+		for i, e := range energies {
+			codes[i] = q.Encode(e)
+		}
+		if scalesEnergy(cfg.Mode) {
+			min := codes[0]
+			for _, c := range codes[1:] {
+				if c < min {
+					min = c
+				}
+			}
+			for i := range codes {
+				codes[i] -= min
+			}
+		}
+		for i, c := range codes {
+			eff[i] = float64(c) * step
+		}
+	} else {
+		copy(eff, energies)
+		if scalesEnergy(cfg.Mode) {
+			min := eff[0]
+			for _, e := range eff[1:] {
+				if e < min {
+					min = e
+				}
+			}
+			for i := range eff {
+				eff[i] -= min
+			}
+		}
+	}
+
+	// Stages 2b-4, per kernel path.
+	rates := make([]float64, m)
+	switch {
+	case cfg.LambdaBits <= 0 && cfg.TimeBits <= 0:
+		// Continuous float reference: competing Exp(e^{-E'/T}), and
+		// min of exponentials ~ categorical in the rates.
+		for i, e := range eff {
+			rates[i] = math.Exp(-e / T)
+		}
+		return categoricalOutcome(rates), nil
+
+	case cfg.LambdaBits <= 0:
+		// Binned float lambda: the full-scale rate maps onto the same
+		// dynamic range as an 8-code integer design.
+		maxRate := -math.Log(cfg.Truncation) / float64(cfg.TimeBins()) * core.LambdaFloatFullScale
+		for i, e := range eff {
+			rates[i] = math.Exp(-e/T) * maxRate
+		}
+		return binnedRace(rates, cfg.TimeBins(), cfg.Tie), nil
+
+	default:
+		for i, e := range eff {
+			rates[i] = float64(lambdaCode(cfg, e, T))
+		}
+		if cfg.TimeBits <= 0 {
+			// Integer lambda, continuous time: rates are the codes.
+			return categoricalOutcome(rates), nil
+		}
+		l0 := cfg.Lambda0()
+		for i := range rates {
+			rates[i] *= l0
+		}
+		return binnedRace(rates, cfg.TimeBins(), cfg.Tie), nil
+	}
+}
+
+// scalesEnergy reports whether the conversion mode applies decay-rate
+// scaling (E' = E - E_min); mirrors the paper's Sec. III-C-1 table.
+func scalesEnergy(m core.ConvertMode) bool {
+	switch m {
+	case core.ConvertScaled, core.ConvertScaledCutoff, core.ConvertScaledCutoffPow2:
+		return true
+	}
+	return false
+}
+
+// lambdaCode converts one effective (already scaled) energy to its integer
+// decay-rate code: v = exp(-E'/T) * 2^L floored, then the mode's
+// post-processing (minimum clamp, probability cut-off, or 2^n truncation).
+func lambdaCode(cfg core.Config, e, T float64) int {
+	if e < 0 {
+		e = 0
+	}
+	max := cfg.MaxLambdaCode()
+	code := int(math.Floor(math.Exp(-e/T) * float64(max)))
+	if code > max {
+		code = max
+	}
+	switch cfg.Mode {
+	case core.ConvertPrev, core.ConvertScaled:
+		if code < 1 {
+			code = 1
+		}
+	case core.ConvertScaledCutoff, core.ConvertCutoffNoScale:
+		if code < 1 {
+			code = 0
+		}
+	case core.ConvertScaledCutoffPow2:
+		code = quant.FloorPow2(code)
+	}
+	return code
+}
+
+// categoricalOutcome is the continuous-time race: zero-rate labels never
+// fire, everyone else wins with probability rate/total, and ties have
+// probability zero. No label can fire only when every rate is cut off.
+func categoricalOutcome(rates []float64) Outcome {
+	out := Outcome{Win: make([]float64, len(rates))}
+	var total float64
+	for _, r := range rates {
+		if r > 0 {
+			total += r
+		}
+	}
+	if total <= 0 || math.IsInf(total, 0) || math.IsNaN(total) {
+		out.Keep = 1
+		return out
+	}
+	for i, r := range rates {
+		if r > 0 {
+			out.Win[i] = r / total
+		}
+	}
+	return out
+}
+
+// binnedRace computes the exact first-to-fire distribution for independent
+// exponential TTFs with the given absolute rates, discretized to bins
+// 1..tmax (bin k covers (k-1, k]) with truncation past the window.
+// Non-positive rates never fire.
+func binnedRace(rates []float64, tmax int, tie core.TieBreak) Outcome {
+	m := len(rates)
+	out := Outcome{Win: make([]float64, m)}
+	// S(i, k) = P(label i has not fired by the end of bin k), which folds in
+	// "never fires": P(TTF > k) = exp(-r k), and truncation is TTF > tmax.
+	S := func(i, k int) float64 {
+		if !(rates[i] > 0) {
+			return 1
+		}
+		return math.Exp(-rates[i] * float64(k))
+	}
+	keep := 1.0
+	for i := 0; i < m; i++ {
+		keep *= S(i, tmax)
+	}
+	out.Keep = keep
+
+	coef := make([]float64, 0, m)
+	for k := 1; k <= tmax; k++ {
+		for i := 0; i < m; i++ {
+			if !(rates[i] > 0) {
+				continue
+			}
+			pk := S(i, k-1) - S(i, k) // P(label i lands in bin k)
+			if pk <= 0 {
+				continue
+			}
+			switch tie {
+			case core.TieFirstWins:
+				// i wins iff every earlier-indexed label fires strictly
+				// later (or never) and no later-indexed label fires earlier.
+				w := pk
+				for j := 0; j < m; j++ {
+					switch {
+					case j < i:
+						w *= S(j, k)
+					case j > i:
+						w *= S(j, k-1)
+					}
+				}
+				out.Win[i] += w
+			default: // TieRandom: uniform among the tied labels.
+				// coef[t] = P(exactly t other labels tie in bin k and the
+				// rest fire strictly later or never) — a polynomial built
+				// label by label.
+				coef = append(coef[:0], 1)
+				for j := 0; j < m; j++ {
+					if j == i {
+						continue
+					}
+					tieJ := S(j, k-1) - S(j, k)
+					laterJ := S(j, k)
+					coef = append(coef, 0)
+					for t := len(coef) - 1; t >= 1; t-- {
+						coef[t] = coef[t]*laterJ + coef[t-1]*tieJ
+					}
+					coef[0] *= laterJ
+				}
+				var w float64
+				for t, c := range coef {
+					w += c / float64(t+1)
+				}
+				out.Win[i] += pk * w
+			}
+		}
+	}
+	return out
+}

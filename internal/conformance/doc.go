@@ -1,0 +1,37 @@
+// Package conformance is the repository's statistical correctness layer: it
+// proves that every sampling path of the RSU-G functional simulator draws
+// from the distribution the paper's math says it must, and that every solver
+// path is bit-reproducible.
+//
+// It has three pillars, mirroring the verification discipline the paper's
+// authors applied with their MATLAB functional simulator:
+//
+//  1. Distribution conformance battery (battery.go): for a grid of design
+//     points spanning Energy_bits x Lambda_bits x Time_bits x Truncation and
+//     the three precision-recovery techniques, analytic.go derives — from
+//     first principles, independently of the core package's kernels — the
+//     exact categorical distribution of the first-to-fire race, and the
+//     battery chi-square-tests core.Unit.Sample against it across all four
+//     kernel paths (quantized, binned-codes, binned-float, continuous) in
+//     both legacy and fast modes, with Bonferroni-corrected p-value gates.
+//     Fast and legacy kernels are additionally tested against each other.
+//
+//  2. Golden-trace regression harness (golden.go): small fixed-seed runs of
+//     the four applications (stereo, flow, segment, ising) at 1, 2 and 4
+//     solver workers, with the final label map and per-sweep energy trace
+//     checked byte-exactly against files under testdata/golden. Worker
+//     count 1 is the serial solver; each worker count has its own golden
+//     because parallel workers own independent RNG streams, and the files
+//     lock in the solver's fixed-(seed, workers) bit-reproducibility
+//     guarantee. Regenerate with `go test ./internal/conformance
+//     -run TestGolden -update-golden` or `rsu-verify -update-golden`.
+//
+//  3. Property and fuzz layer (fuzz_test.go, property_test.go): native Go
+//     fuzz targets for Unit.Sample and the energy-to-lambda conversion (no
+//     panics, in-range labels, monotone decay rates), plus a property test
+//     that the mrf.Tables energy LUT is bit-identical to direct evaluation
+//     over random MRF problems.
+//
+// The same checks run in `go test` and standalone through cmd/rsu-verify
+// (wired into `make verify` and CI).
+package conformance

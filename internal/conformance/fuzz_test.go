@@ -1,0 +1,126 @@
+package conformance
+
+import (
+	"testing"
+
+	"rsu/internal/core"
+	"rsu/internal/rng"
+)
+
+// fuzzConfigs are the valid configurations the fuzz targets draw from,
+// covering all four kernel paths and every conversion mode.
+func fuzzConfigs() []core.Config {
+	return []core.Config{
+		core.NewRSUG(),
+		core.PrevRSUG(),
+		core.FloatReference(),
+		{Name: "fuzz-scaled", EnergyBits: 8, EnergyMax: 255,
+			LambdaBits: 4, Mode: core.ConvertScaled,
+			TimeBits: 5, Truncation: 0.1, Tie: core.TieRandom},
+		{Name: "fuzz-no-scale", EnergyBits: 8, EnergyMax: 255,
+			LambdaBits: 4, Mode: core.ConvertCutoffNoScale,
+			TimeBits: 5, Truncation: 0.05, Tie: core.TieFirstWins},
+		{Name: "fuzz-binned-codes", LambdaBits: 4, Mode: core.ConvertScaledCutoff,
+			TimeBits: 5, Truncation: 0.05, Tie: core.TieRandom},
+		{Name: "fuzz-binned-float", Mode: core.ConvertScaled,
+			TimeBits: 6, Truncation: 0.05, Tie: core.TieRandom},
+		{Name: "fuzz-int-continuous", EnergyBits: 8, EnergyMax: 255,
+			LambdaBits: 4, Mode: core.ConvertScaledCutoffPow2, Tie: core.TieRandom},
+	}
+}
+
+var fuzzTemps = []float64{0.25, 2, 8, 32, 400}
+
+// FuzzUnitSample drives the full sampling pipeline with arbitrary energies
+// through every configuration and both kernel generations, checking the
+// Sample contract: no panic, and the result is either a label index in range
+// or the caller's current label (no fire).
+func FuzzUnitSample(f *testing.F) {
+	f.Add(uint8(0), uint8(1), uint64(7), uint16(0), uint16(100), uint16(40000), uint16(65535))
+	f.Add(uint8(3), uint8(0), uint64(1), uint16(5), uint16(5), uint16(5), uint16(5))
+	f.Add(uint8(6), uint8(4), uint64(9), uint16(65535), uint16(0), uint16(1), uint16(2))
+	f.Fuzz(func(t *testing.T, cfgSel, tSel uint8, seed uint64, e0, e1, e2, e3 uint16) {
+		cfgs := fuzzConfigs()
+		cfg := cfgs[int(cfgSel)%len(cfgs)]
+		T := fuzzTemps[int(tSel)%len(fuzzTemps)]
+		// Map the raw words onto [0, 2*EnergyMax] (or [0, 512] for float-energy
+		// configs) so out-of-scale energies are exercised too.
+		scale := 2 * cfg.EnergyMax / 65535
+		if cfg.EnergyBits <= 0 {
+			scale = 512.0 / 65535
+		}
+		energies := []float64{
+			float64(e0) * scale, float64(e1) * scale,
+			float64(e2) * scale, float64(e3) * scale,
+		}
+		m := len(energies)
+		current := int(seed % uint64(m+1)) // m means "no current label" (-1)
+		if current == m {
+			current = -1
+		}
+		for _, legacy := range []bool{false, true} {
+			u := core.MustUnit(cfg, rng.NewXoshiro256(seed|1), seed%2 == 0)
+			u.SetLegacyKernels(legacy)
+			u.SetTemperature(T)
+			for i := 0; i < 8; i++ {
+				got := u.Sample(energies, current)
+				if got != current && (got < 0 || got >= m) {
+					t.Fatalf("cfg %s legacy %v T %v: Sample -> %d, want current %d or in [0,%d)",
+						cfg.Name, legacy, T, got, current, m)
+				}
+			}
+			st := u.Stats()
+			if st.Evaluations != 8 || st.LabelEvals != 8*m {
+				t.Fatalf("cfg %s legacy %v: stats %+v after 8 calls over %d labels",
+					cfg.Name, legacy, st, m)
+			}
+		}
+	})
+}
+
+// FuzzLambdaCode drives the energy-to-lambda conversion with arbitrary
+// effective energies and checks its invariants: the code stays within
+// [0, MaxLambdaCode], the LUT and boundary-comparison realizations agree
+// exactly, and the code is monotone non-increasing in energy (higher energy
+// can never mean a faster decay rate).
+func FuzzLambdaCode(f *testing.F) {
+	f.Add(uint8(0), uint8(1), uint16(0), uint16(300))
+	f.Add(uint8(1), uint8(2), uint16(40000), uint16(40001))
+	f.Add(uint8(4), uint8(3), uint16(65535), uint16(65535))
+	f.Fuzz(func(t *testing.T, cfgSel, tSel uint8, a, b uint16) {
+		var cfgs []core.Config
+		for _, c := range fuzzConfigs() {
+			if c.EnergyBits > 0 && c.LambdaBits > 0 {
+				cfgs = append(cfgs, c)
+			}
+		}
+		cfg := cfgs[int(cfgSel)%len(cfgs)]
+		T := fuzzTemps[int(tSel)%len(fuzzTemps)]
+		scale := 2 * cfg.EnergyMax / 65535
+		lo, hi := float64(a)*scale, float64(b)*scale
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+
+		lut := core.MustUnit(cfg, rng.NewXoshiro256(1), true)
+		cmp := core.MustUnit(cfg, rng.NewXoshiro256(1), false)
+		lut.SetTemperature(T)
+		cmp.SetTemperature(T)
+
+		cl, ch := lut.LambdaCode(lo), lut.LambdaCode(hi)
+		for e, c := range map[float64]int{lo: cl, hi: ch} {
+			if c < 0 || c > cfg.MaxLambdaCode() {
+				t.Fatalf("cfg %s T %v: LambdaCode(%v) = %d outside [0,%d]",
+					cfg.Name, T, e, c, cfg.MaxLambdaCode())
+			}
+			if bc := cmp.LambdaCode(e); bc != c {
+				t.Fatalf("cfg %s T %v: LUT code %d != boundary code %d at e = %v",
+					cfg.Name, T, c, bc, e)
+			}
+		}
+		if cl < ch {
+			t.Fatalf("cfg %s T %v: code not monotone: e %v -> %d but e %v -> %d",
+				cfg.Name, T, lo, cl, hi, ch)
+		}
+	})
+}

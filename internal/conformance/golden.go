@@ -1,0 +1,196 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"rsu/internal/apps/flow"
+	"rsu/internal/apps/ising"
+	"rsu/internal/apps/segment"
+	"rsu/internal/apps/stereo"
+	"rsu/internal/core"
+	"rsu/internal/img"
+	"rsu/internal/mrf"
+	"rsu/internal/rng"
+	"rsu/internal/synth"
+)
+
+// goldenSeed seeds every golden scenario's RNG streams. Changing it (or any
+// model parameter below) invalidates the checked-in traces; regenerate with
+// -update-golden and review the diff.
+const goldenSeed = 2026
+
+// GoldenWorkerCounts are the solver worker counts each application is traced
+// at. Workers own independent RNG streams, so every count has its own
+// golden; 1 is the serial solver path.
+var GoldenWorkerCounts = []int{1, 2, 4}
+
+// Trace is the deterministic fingerprint of one solver run: the final label
+// map plus the total MRF energy after every sweep.
+type Trace struct {
+	App     string
+	Workers int
+	Labels  *img.Labels
+	Energy  []float64
+}
+
+// Encode renders the trace in a stable text format. Energies are written as
+// hexadecimal floats, which round-trip bit-exactly; comparison is done on
+// raw bytes.
+func (t *Trace) Encode() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "rsu golden trace v1\napp %s\nworkers %d\n", t.App, t.Workers)
+	fmt.Fprintf(&b, "labels %dx%d\n", t.Labels.W, t.Labels.H)
+	for y := 0; y < t.Labels.H; y++ {
+		for x := 0; x < t.Labels.W; x++ {
+			if x > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(strconv.Itoa(t.Labels.At(x, y)))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "energy %d\n", len(t.Energy))
+	for _, e := range t.Energy {
+		b.WriteString(strconv.FormatFloat(e, 'x', -1, 64))
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// Scenario is one golden-traced run: an application at a worker count.
+type Scenario struct {
+	App     string
+	Workers int
+}
+
+// File returns the scenario's golden file name.
+func (s Scenario) File() string { return fmt.Sprintf("%s_w%d.golden", s.App, s.Workers) }
+
+// Scenarios returns the full golden matrix: every application at every
+// worker count in GoldenWorkerCounts.
+func Scenarios() []Scenario {
+	var out []Scenario
+	for _, app := range []string{"stereo", "flow", "segment", "ising"} {
+		for _, w := range GoldenWorkerCounts {
+			out = append(out, Scenario{App: app, Workers: w})
+		}
+	}
+	return out
+}
+
+// Run executes the scenario: a small fixed-seed instance of the application
+// solved with the new-RSUG sampler, tracing the energy after every sweep.
+func (s Scenario) Run() (*Trace, error) {
+	prob, sched, init, err := goldenProblem(s.App)
+	if err != nil {
+		return nil, err
+	}
+	factory := core.StreamFactory(goldenSeed, func(src rng.Source) core.LabelSampler {
+		return core.MustUnit(core.NewRSUG(), src, true)
+	})
+	tr := &Trace{App: s.App, Workers: s.Workers}
+	lab, err := mrf.SolveAuto(prob, factory, sched, mrf.SolveOptions{
+		Init:    init,
+		Workers: s.Workers,
+		OnSweep: func(iter int, lab *img.Labels) {
+			tr.Energy = append(tr.Energy, prob.TotalEnergy(lab))
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("conformance: golden %s: %w", s.File(), err)
+	}
+	tr.Labels = lab
+	return tr, nil
+}
+
+// goldenProblem builds the fixed miniature MRF instance for one application.
+// Sizes and schedules are deliberately small: the traces pin determinism and
+// regression, not solution quality (the apps' own tests cover quality).
+func goldenProblem(app string) (*mrf.Problem, mrf.Schedule, *img.Labels, error) {
+	switch app {
+	case "stereo":
+		pair := synth.Stereo("golden", 28, 20, 10, 3, 7)
+		prob := stereo.BuildProblem(pair, stereo.DefaultParams())
+		return prob, mrf.Schedule{T0: 32, Alpha: 0.9, Iterations: 24}, nil, nil
+	case "flow":
+		pair := synth.Flow("golden", 20, 14, 2, 2, 9)
+		prob := flow.BuildProblem(pair, flow.DefaultParams())
+		init := img.NewLabels(20, 14)
+		init.Fill(synth.VectorToLabel(0, 0, pair.Radius))
+		return prob, mrf.Schedule{T0: 32, Alpha: 0.9, Iterations: 18}, init, nil
+	case "segment":
+		scene := synth.Segments("golden", 24, 16, 3, 6, 11)
+		p := segment.DefaultParams()
+		means := segment.FitMeans(scene.Image, scene.Segments, p.KMeansIters)
+		prob := segment.BuildProblem(scene.Image, means, p)
+		return prob, mrf.Schedule{T0: p.Temperature, Alpha: 1, Iterations: 15}, nil, nil
+	case "ising":
+		m := ising.Model{N: 16, J: 16}
+		if err := m.Validate(); err != nil {
+			return nil, mrf.Schedule{}, nil, err
+		}
+		prob := m.Problem()
+		init := img.NewLabels(m.N, m.N).Fill(1)
+		return prob, mrf.Schedule{T0: 2.4 * m.J, Alpha: 1, Iterations: 16}, init, nil
+	default:
+		return nil, mrf.Schedule{}, nil, fmt.Errorf("conformance: unknown golden app %q", app)
+	}
+}
+
+// VerifyGolden runs every scenario and compares its trace byte-for-byte
+// against the files in dir, returning one error per drifted or missing
+// golden (nil when everything matches).
+func VerifyGolden(dir string) []error {
+	var errs []error
+	for _, s := range Scenarios() {
+		tr, err := s.Run()
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		want, err := os.ReadFile(filepath.Join(dir, s.File()))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("conformance: golden %s missing (regenerate with -update-golden): %w", s.File(), err))
+			continue
+		}
+		if got := tr.Encode(); !bytes.Equal(got, want) {
+			errs = append(errs, fmt.Errorf("conformance: golden %s drifted at byte %d (run with -update-golden if the change is intended)",
+				s.File(), firstDiff(got, want)))
+		}
+	}
+	return errs
+}
+
+// UpdateGolden regenerates every golden file in dir.
+func UpdateGolden(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range Scenarios() {
+		tr, err := s.Run()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, s.File()), tr.Encode(), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -1,0 +1,102 @@
+package conformance
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rsu/internal/core"
+	"rsu/internal/img"
+	"rsu/internal/mrf"
+	"rsu/internal/rng"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"regenerate the golden trace files instead of comparing against them")
+
+const goldenDir = "testdata/golden"
+
+// TestGoldenTraces is the regression gate: every application at every worker
+// count must reproduce its checked-in trace byte for byte. Run with
+// -update-golden after an intentional behavior change and review the diff.
+func TestGoldenTraces(t *testing.T) {
+	if *updateGolden {
+		if err := UpdateGolden(goldenDir); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden traces regenerated")
+	}
+	for _, err := range VerifyGolden(goldenDir) {
+		t.Error(err)
+	}
+}
+
+// TestGoldenDeterminism runs each scenario twice and demands identical bytes:
+// the fixed-(seed, workers) bit-reproducibility guarantee the golden files
+// rest on. Without it a drifted golden would be indistinguishable from a
+// flaky solver.
+func TestGoldenDeterminism(t *testing.T) {
+	for _, s := range []Scenario{{App: "ising", Workers: 1}, {App: "stereo", Workers: 4}} {
+		a, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ea, eb := a.Encode(), b.Encode()
+		if !bytes.Equal(ea, eb) {
+			t.Errorf("%s: two runs diverge at byte %d", s.File(), firstDiff(ea, eb))
+		}
+	}
+}
+
+// TestGoldenSerialMatchesOneWorker pins that the workers=1 golden is exactly
+// the serial solver's output, so the serial path is covered by the same file.
+func TestGoldenSerialMatchesOneWorker(t *testing.T) {
+	s := Scenario{App: "segment", Workers: 1}
+	auto, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prob, sched, init, err := goldenProblem(s.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := core.StreamFactory(goldenSeed, func(src rng.Source) core.LabelSampler {
+		return core.MustUnit(core.NewRSUG(), src, true)
+	})
+	serial := &Trace{App: s.App, Workers: 1}
+	lab, err := mrf.Solve(prob, factory(0), sched, mrf.SolveOptions{
+		Init: init,
+		OnSweep: func(iter int, lab *img.Labels) {
+			serial.Energy = append(serial.Energy, prob.TotalEnergy(lab))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.Labels = lab
+
+	ea, eb := auto.Encode(), serial.Encode()
+	if !bytes.Equal(ea, eb) {
+		t.Fatalf("SolveAuto(workers=1) diverges from serial Solve at byte %d", firstDiff(ea, eb))
+	}
+}
+
+// TestGoldenFilesPresent enumerates the checked-in matrix so a deleted file
+// fails loudly even if VerifyGolden's error wording changes.
+func TestGoldenFilesPresent(t *testing.T) {
+	for _, s := range Scenarios() {
+		if _, err := os.Stat(filepath.Join(goldenDir, s.File())); err != nil {
+			t.Errorf("golden file missing: %v", err)
+		}
+	}
+	if n := len(Scenarios()); n != 12 {
+		t.Errorf("golden matrix has %d scenarios, want 12 (4 apps x 3 worker counts)", n)
+	}
+}

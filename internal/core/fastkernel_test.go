@@ -58,27 +58,19 @@ func TestFastBinnedKernelBitIdentical(t *testing.T) {
 	}
 }
 
-// twoSampleChiSquare compares two equal-size label histograms:
-// X² = Σ (a-b)²/(a+b) is chi-square distributed with (#occupied bins - 1)
-// degrees of freedom under the null hypothesis of a shared distribution.
-// Histograms concentrated in a single bin (everything else cut off) are
-// trivially equivalent and report p = 1.
+// twoSampleChiSquare compares two equal-size label histograms through
+// stats.ChiSquareTwoSample, returning the p-value.
 func twoSampleChiSquare(a, b []int) float64 {
-	var x2 float64
-	df := -1
+	fa := make([]float64, len(a))
+	fb := make([]float64, len(b))
 	for i := range a {
-		s := float64(a[i] + b[i])
-		if s == 0 {
-			continue
-		}
-		d := float64(a[i] - b[i])
-		x2 += d * d / s
-		df++
+		fa[i], fb[i] = float64(a[i]), float64(b[i])
 	}
-	if df < 1 {
-		return 1
+	res, err := stats.ChiSquareTwoSample(fa, fb)
+	if err != nil {
+		panic(err)
 	}
-	return 1 - stats.ChiSquareCDF(x2, df)
+	return res.PValue
 }
 
 // TestFastKernelsStatisticallyEquivalent draws large label histograms from

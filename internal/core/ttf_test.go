@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"rsu/internal/rng"
+)
+
+// TestSampleTTFBoundedWindowRegression locks the bounded-sampling contract
+// draw by draw: running SampleTTF and SampleTTFBounded on identically seeded
+// units, the bounded variant must agree with every in-window draw, map every
+// truncated draw (fired == false) to exactly t_max, and never leave the
+// detection window. The truncated branch must actually be hit — a Truncation
+// of 0.5 with the minimum code makes the fallback frequent — so the test
+// cannot silently pass without exercising it.
+func TestSampleTTFBoundedWindowRegression(t *testing.T) {
+	cfg := NewRSUG() // Truncation 0.5, 32 time bins
+	for _, code := range []int{1, 2, 4, 8} {
+		plain := MustUnit(cfg, rng.NewXoshiro256(99), true)
+		bounded := MustUnit(cfg, rng.NewXoshiro256(99), true)
+		tmax := cfg.TimeBins()
+		fallbacks := 0
+		for i := 0; i < 20000; i++ {
+			pb, pf := plain.SampleTTF(code)
+			bb, bf := bounded.SampleTTFBounded(code)
+			if !bf {
+				t.Fatalf("code %d draw %d: bounded sampling did not fire", code, i)
+			}
+			if bb < 1 || bb > tmax {
+				t.Fatalf("code %d draw %d: bounded bin %d outside [1,%d]", code, i, bb, tmax)
+			}
+			if pf {
+				if bb != pb {
+					t.Fatalf("code %d draw %d: bounded bin %d != plain bin %d", code, i, bb, pb)
+				}
+			} else {
+				fallbacks++
+				if bb != tmax {
+					t.Fatalf("code %d draw %d: truncated draw mapped to bin %d, want t_max %d", code, i, bb, tmax)
+				}
+			}
+		}
+		if fallbacks == 0 {
+			t.Fatalf("code %d: truncation fallback never exercised at Truncation %v", code, cfg.Truncation)
+		}
+	}
+}
+
+// TestSampleTTFBoundedNonPositiveCodes pins the cut-off semantics: codes <= 0
+// never fire under either variant, bounded or not.
+func TestSampleTTFBoundedNonPositiveCodes(t *testing.T) {
+	u := MustUnit(NewRSUG(), rng.NewXoshiro256(5), true)
+	for _, code := range []int{0, -1, -100} {
+		if bin, fired := u.SampleTTF(code); fired || bin != 0 {
+			t.Errorf("SampleTTF(%d) = (%d, %v), want (0, false)", code, bin, fired)
+		}
+		if bin, fired := u.SampleTTFBounded(code); fired || bin != 0 {
+			t.Errorf("SampleTTFBounded(%d) = (%d, %v), want (0, false)", code, bin, fired)
+		}
+	}
+}

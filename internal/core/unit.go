@@ -171,12 +171,14 @@ func (u *Unit) SampleTTF(code int) (bin int, fired bool) {
 		return 0, false
 	}
 	t := rng.Exponential(u.src, float64(code)*u.lambda0)
+	// Compare in float space before converting: ceil(t) > tmax iff t > tmax,
+	// and a huge t (tiny rate) would overflow the int conversion.
+	if t > float64(u.tmax) {
+		return 0, false
+	}
 	b := int(math.Ceil(t))
 	if b < 1 {
 		b = 1
-	}
-	if b > u.tmax {
-		return 0, false
 	}
 	return b, true
 }
@@ -415,20 +417,29 @@ func (u *Unit) sampleContinuousRates(rates []float64, current int) int {
 	return last
 }
 
+// LambdaFloatFullScale maps the float-lambda maximum (1.0 at E'=0) onto the
+// same dynamic range an 8-code integer design would use, so float-lambda +
+// binned-time ablations remain comparable to the integer design points. It
+// is exported so the conformance battery can derive the binned-float race
+// distribution from the same constant.
+const LambdaFloatFullScale = 8
+
 func (u *Unit) sampleBinnedFloat(eff []float64, current int) int {
-	maxRate := -math.Log(u.cfg.Truncation) / float64(u.tmax) * u.lambdaFloatFullScale()
+	maxRate := -math.Log(u.cfg.Truncation) / float64(u.tmax) * LambdaFloatFullScale
 	bins := u.binBuf[:len(eff)]
 	for i, e := range eff {
 		rate := math.Exp(-e/u.T) * maxRate
+		if rate <= 0 {
+			// exp(-E'/T) underflowed: the label's TTF lies beyond any
+			// window, the binned analogue of the probability cut-off.
+			u.stats.Truncated++
+			bins[i] = 0
+			continue
+		}
 		bins[i] = u.drawBin(rate)
 	}
 	return u.selectBin(bins, current)
 }
-
-// lambdaFloatFullScale maps the float-lambda maximum (1.0 at E'=0) onto the
-// same dynamic range an 8-code integer design would use, so float-lambda +
-// binned-time ablations remain comparable to the integer design points.
-func (u *Unit) lambdaFloatFullScale() float64 { return 8 }
 
 func (u *Unit) sampleBinnedCodes(codes []int, current int) int {
 	bins := u.binBuf[:len(codes)]
@@ -456,13 +467,15 @@ func (u *Unit) sampleBinnedCodes(codes []int, current int) int {
 // its 1-based time bin, or 0 if it truncates past the window.
 func (u *Unit) drawBin(rate float64) int {
 	t := rng.Exponential(u.src, rate)
+	// ceil(t) > tmax iff t > tmax; testing before the int conversion keeps a
+	// near-zero rate (astronomically large t) from overflowing the int.
+	if t > float64(u.tmax) {
+		u.stats.Truncated++
+		return 0
+	}
 	b := int(math.Ceil(t))
 	if b < 1 {
 		b = 1
-	}
-	if b > u.tmax {
-		u.stats.Truncated++
-		return 0
 	}
 	return b
 }

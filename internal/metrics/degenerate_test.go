@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"rsu/internal/img"
+)
+
+// TestVoIDegenerateOneLabel covers segmentations that collapse to a single
+// label — the failure mode of an over-smoothed solver output. VoI must stay
+// finite: 0 against another constant map (identical up to renaming) and
+// exactly the split entropy against a balanced two-way partition.
+func TestVoIDegenerateOneLabel(t *testing.T) {
+	flat := img.NewLabels(4, 4).Fill(7)
+	alsoFlat := img.NewLabels(4, 4).Fill(0)
+	if got := VariationOfInformation(flat, alsoFlat); got != 0 {
+		t.Fatalf("VoI of two constant maps = %v, want 0", got)
+	}
+	if got := VariationOfInformation(flat, flat); got != 0 {
+		t.Fatalf("VoI of a constant map with itself = %v, want 0", got)
+	}
+	// Constant vs a half/half split: H(A)=0, I(A;B)=0, so VoI = H(B) = ln 2.
+	halves := img.NewLabels(4, 4)
+	for y := 0; y < 4; y++ {
+		for x := 2; x < 4; x++ {
+			halves.Set(x, y, 1)
+		}
+	}
+	if got := VariationOfInformation(flat, halves); math.Abs(got-math.Ln2) > 1e-12 {
+		t.Fatalf("VoI(constant, half-split) = %v, want ln 2 = %v", got, math.Ln2)
+	}
+	// Other degenerate-input metrics stay finite on constant maps too.
+	if pri := ProbabilisticRandIndex(flat, alsoFlat); pri != 1 {
+		t.Fatalf("PRI of two constant maps = %v, want 1", pri)
+	}
+	if gce := GlobalConsistencyError(flat, halves); gce != 0 {
+		t.Fatalf("GCE(constant, refinement) = %v, want 0", gce)
+	}
+}
+
+// TestBadPixelPctAllMasked pins the conservative occlusion accounting at its
+// extreme: with every pixel masked out, the whole image counts as bad even
+// when the prediction is perfect.
+func TestBadPixelPctAllMasked(t *testing.T) {
+	gt := lab(3, 2, 1, 2, 3, 4, 5, 6)
+	mask := make([]bool, 6) // all false = fully occluded
+	if got := BadPixelPct(gt, gt, 1, mask); got != 100 {
+		t.Fatalf("BP of fully masked image = %v, want 100", got)
+	}
+}
+
+// TestRMSErrorAllMasked checks the masked RMS convention: occluded pixels
+// contribute the full ground-truth disparity, so a fully masked image scores
+// the RMS of the ground truth itself regardless of the prediction.
+func TestRMSErrorAllMasked(t *testing.T) {
+	gt := lab(2, 2, 3, 4, 0, 0)
+	pred := lab(2, 2, 3, 4, 0, 0) // perfect, but fully occluded
+	mask := make([]bool, 4)
+	want := math.Sqrt((9.0 + 16.0) / 4)
+	if got := RMSError(pred, gt, mask); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("masked RMS = %v, want %v", got, want)
+	}
+}

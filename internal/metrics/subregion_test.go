@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"testing"
+
+	"rsu/internal/img"
+)
+
+func flatGray(w, h int, v float64) *img.Gray {
+	g := img.NewGray(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = v
+	}
+	return g
+}
+
+// TestSubregionsPerfectPrediction: with no occlusions and a perfect
+// prediction every bad-pixel score is 0, and the All score equals the
+// overall BadPixelPct by construction.
+func TestSubregionsPerfectPrediction(t *testing.T) {
+	gt := lab(4, 3, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11)
+	ref := flatGray(4, 3, 0.5)
+	res := EvaluateSubregions(gt, gt, nil, ref, 1, 1e-6)
+	if res.All != 0 || res.NonOccluded != 0 || res.Occluded != 0 || res.Textureless != 0 {
+		t.Fatalf("perfect prediction scored %+v, want all zeros", res)
+	}
+	if bp := BadPixelPct(gt, gt, 1, nil); res.All != bp {
+		t.Fatalf("All %v != BadPixelPct %v", res.All, bp)
+	}
+	if res.OccludedFrac != 0 {
+		t.Fatalf("OccludedFrac = %v with nil mask, want 0", res.OccludedFrac)
+	}
+}
+
+// TestSubregionsFlatReferenceIsAllTextureless: a constant reference image has
+// zero local variance everywhere, so the whole image is textureless.
+func TestSubregionsFlatReferenceIsAllTextureless(t *testing.T) {
+	gt := lab(3, 3, 0, 0, 0, 1, 1, 1, 2, 2, 2)
+	res := EvaluateSubregions(gt, gt, nil, flatGray(3, 3, 0.25), 1, 1e-6)
+	if res.TexturelessFrac != 1 {
+		t.Fatalf("TexturelessFrac = %v for flat reference, want 1", res.TexturelessFrac)
+	}
+	if res.Textureless != 0 {
+		t.Fatalf("Textureless BP = %v for perfect prediction, want 0", res.Textureless)
+	}
+}
+
+// TestSubregionsAllMasked: a fully occluded image puts every pixel in the
+// occluded subregion and — by the conservative convention — scores 100
+// everywhere occlusion applies, matching BadPixelPct exactly.
+func TestSubregionsAllMasked(t *testing.T) {
+	gt := lab(2, 2, 1, 2, 3, 4)
+	mask := make([]bool, 4)
+	res := EvaluateSubregions(gt, gt, mask, flatGray(2, 2, 0), 1, 1e-6)
+	if res.OccludedFrac != 1 {
+		t.Fatalf("OccludedFrac = %v, want 1", res.OccludedFrac)
+	}
+	if res.Occluded != 100 || res.All != 100 {
+		t.Fatalf("fully masked scored Occluded %v All %v, want 100/100", res.Occluded, res.All)
+	}
+	// NonOccluded has no pixels; the score must stay at its zero value
+	// rather than divide by zero.
+	if res.NonOccluded != 0 {
+		t.Fatalf("NonOccluded = %v with no unmasked pixels, want 0", res.NonOccluded)
+	}
+	if bp := BadPixelPct(gt, gt, 1, mask); res.All != bp {
+		t.Fatalf("All %v != BadPixelPct %v", res.All, bp)
+	}
+}
+
+// TestSubregionsAllCrossChecksBadPixelPct: on a mixed mask and imperfect
+// prediction, the All subregion score and BadPixelPct implement the same
+// conservative accounting and must agree exactly.
+func TestSubregionsAllCrossChecksBadPixelPct(t *testing.T) {
+	gt := lab(3, 2, 5, 5, 5, 5, 5, 5)
+	pred := lab(3, 2, 5, 9, 5, 5, 6, 2)
+	mask := []bool{true, true, false, true, true, true}
+	res := EvaluateSubregions(pred, gt, mask, flatGray(3, 2, 1), 1, 1e-6)
+	if bp := BadPixelPct(pred, gt, 1, mask); res.All != bp {
+		t.Fatalf("All %v != BadPixelPct %v", res.All, bp)
+	}
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"rsu/internal/rng"
+)
+
+// TestChiSquareTestEdgeCases is the table-driven degenerate-input sweep: every
+// malformed input must come back as an error, never a panic or a NaN p-value.
+func TestChiSquareTestEdgeCases(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name     string
+		obs, exp []float64
+		extra    int
+		wantErr  bool
+	}{
+		{"nil slices", nil, nil, 0, true},
+		{"empty slices", []float64{}, []float64{}, 0, true},
+		{"single bin", []float64{3}, []float64{3}, 0, true},
+		{"length mismatch", []float64{1, 2}, []float64{1}, 0, true},
+		{"zero expected", []float64{1, 2}, []float64{1, 0}, 0, true},
+		{"negative expected", []float64{1, 2}, []float64{1, -2}, 0, true},
+		{"nan expected", []float64{1, 2}, []float64{1, nan}, 0, true},
+		{"inf expected", []float64{1, 2}, []float64{1, inf}, 0, true},
+		{"negative observed", []float64{1, -2}, []float64{1, 2}, 0, true},
+		{"nan observed", []float64{1, nan}, []float64{1, 2}, 0, true},
+		{"inf observed", []float64{1, inf}, []float64{1, 2}, 0, true},
+		{"df zero", []float64{1, 2}, []float64{1, 2}, 1, true},
+		{"df negative", []float64{1, 2, 3}, []float64{1, 2, 3}, 5, true},
+		{"valid", []float64{10, 12, 8}, []float64{10, 10, 10}, 0, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := ChiSquareTest(c.obs, c.exp, c.extra)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, c.wantErr)
+			}
+			if err == nil && (math.IsNaN(res.PValue) || res.PValue < 0 || res.PValue > 1) {
+				t.Fatalf("p-value %v out of [0,1]", res.PValue)
+			}
+		})
+	}
+}
+
+// TestChiSquareTwoSampleEdgeCases sweeps the two-sample test's degenerate
+// inputs the same way.
+func TestChiSquareTwoSampleEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name    string
+		a, b    []float64
+		wantErr bool
+	}{
+		{"nil slices", nil, nil, true},
+		{"empty histograms", []float64{0, 0}, []float64{0, 0}, true},
+		{"length mismatch", []float64{1, 2}, []float64{3}, true},
+		{"negative count", []float64{-1, 4}, []float64{1, 2}, true},
+		{"nan count", []float64{nan, 3}, []float64{1, 2}, true},
+		{"unequal totals", []float64{1, 2}, []float64{1, 3}, true},
+		{"valid", []float64{40, 60}, []float64{55, 45}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := ChiSquareTwoSample(c.a, c.b)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, c.wantErr)
+			}
+			if err == nil && (math.IsNaN(res.PValue) || res.PValue < 0 || res.PValue > 1) {
+				t.Fatalf("p-value %v out of [0,1]", res.PValue)
+			}
+		})
+	}
+}
+
+// TestChiSquareTwoSampleSingleSharedBin pins the trivial-equivalence contract:
+// all mass in one shared bin cannot be distinguished and reports p = 1, DF 0.
+func TestChiSquareTwoSampleSingleSharedBin(t *testing.T) {
+	res, err := ChiSquareTwoSample([]float64{0, 100, 0}, []float64{0, 100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DF != 0 || res.PValue != 1 {
+		t.Fatalf("got DF %d p %v, want DF 0 p 1", res.DF, res.PValue)
+	}
+}
+
+// TestChiSquareTwoSamplePower draws two histograms from the same categorical
+// distribution (accept) and from tilted ones (reject).
+func TestChiSquareTwoSamplePower(t *testing.T) {
+	src := rng.NewXoshiro256(11)
+	same := func(w []float64) []float64 {
+		h := make([]float64, len(w))
+		for i := 0; i < 20000; i++ {
+			h[rng.Categorical(src, w)]++
+		}
+		return h
+	}
+	wA := []float64{1, 2, 3, 4}
+	res, err := ChiSquareTwoSample(same(wA), same(wA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 1e-3 {
+		t.Errorf("same-distribution histograms rejected: p = %v", res.PValue)
+	}
+	res, err = ChiSquareTwoSample(same(wA), same([]float64{4, 3, 2, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-6 {
+		t.Errorf("tilted histograms accepted: p = %v", res.PValue)
+	}
+}
+
+// TestKSTestEdgeCases covers the KS test's degenerate inputs.
+func TestKSTestEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		cdf     func(float64) float64
+		wantErr bool
+	}{
+		{"nil input", nil, UniformCDF(), true},
+		{"empty input", []float64{}, UniformCDF(), true},
+		{"four samples", []float64{.1, .2, .3, .4}, UniformCDF(), true},
+		{"cdf above one", []float64{.1, .2, .3, .4, .5}, func(float64) float64 { return 2 }, true},
+		{"cdf below zero", []float64{.1, .2, .3, .4, .5}, func(float64) float64 { return -0.5 }, true},
+		{"cdf nan", []float64{.1, .2, .3, .4, .5}, func(float64) float64 { return math.NaN() }, true},
+		{"nan sample", []float64{.1, .2, math.NaN(), .4, .5}, UniformCDF(), true},
+		{"five samples", []float64{.1, .3, .5, .7, .9}, UniformCDF(), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := KSTest(c.samples, c.cdf)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, c.wantErr)
+			}
+			if err == nil && (math.IsNaN(res.PValue) || res.PValue < 0 || res.PValue > 1) {
+				t.Fatalf("p-value %v out of [0,1]", res.PValue)
+			}
+		})
+	}
+}
+
+// TestGelmanRubinEdgeCases covers the R-hat diagnostic's degenerate inputs:
+// no chains, a single chain, empty chains, unequal lengths, and zero
+// within-chain variance all error rather than panic or divide by zero.
+func TestGelmanRubinEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		chains  [][]float64
+		wantErr bool
+	}{
+		{"no chains", nil, true},
+		{"zero chains", [][]float64{}, true},
+		{"single chain", [][]float64{{1, 2, 3}}, true},
+		{"empty chains", [][]float64{{}, {}}, true},
+		{"length one", [][]float64{{1}, {2}}, true},
+		{"unequal lengths", [][]float64{{1, 2, 3}, {1, 2}}, true},
+		{"second chain empty", [][]float64{{1, 2}, {}}, true},
+		{"zero variance", [][]float64{{3, 3}, {3, 3}}, true},
+		{"valid", [][]float64{{1, 2, 3}, {1.5, 2.5, 2}}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r, err := GelmanRubin(c.chains)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, c.wantErr)
+			}
+			if err == nil && (math.IsNaN(r) || r <= 0) {
+				t.Fatalf("R-hat = %v, want positive finite", r)
+			}
+		})
+	}
+}

@@ -121,8 +121,11 @@ func ChiSquareTest(observed []float64, expected []float64, extraConstraints int)
 	}
 	var stat float64
 	for i := range observed {
-		if expected[i] <= 0 {
+		if !(expected[i] > 0) || math.IsInf(expected[i], 0) {
 			return ChiSquareResult{}, fmt.Errorf("stats: expected count %v in bin %d", expected[i], i)
+		}
+		if observed[i] < 0 || math.IsNaN(observed[i]) || math.IsInf(observed[i], 0) {
+			return ChiSquareResult{}, fmt.Errorf("stats: observed count %v in bin %d", observed[i], i)
 		}
 		d := observed[i] - expected[i]
 		stat += d * d / expected[i]
@@ -130,6 +133,46 @@ func ChiSquareTest(observed []float64, expected []float64, extraConstraints int)
 	df := len(observed) - 1 - extraConstraints
 	if df < 1 {
 		return ChiSquareResult{}, fmt.Errorf("stats: non-positive degrees of freedom")
+	}
+	return ChiSquareResult{Statistic: stat, DF: df, PValue: 1 - ChiSquareCDF(stat, df)}, nil
+}
+
+// ChiSquareTwoSample tests whether two equal-total count histograms were
+// drawn from the same distribution: X² = Σ (a_i - b_i)² / (a_i + b_i) is
+// chi-square distributed with (#occupied bins - 1) degrees of freedom under
+// the null. Histograms concentrated in a single shared bin are trivially
+// equivalent and report p = 1 with DF 0.
+func ChiSquareTwoSample(a, b []float64) (ChiSquareResult, error) {
+	if len(a) != len(b) {
+		return ChiSquareResult{}, fmt.Errorf("stats: histogram length mismatch %d vs %d", len(a), len(b))
+	}
+	var ta, tb float64
+	for i := range a {
+		if a[i] < 0 || b[i] < 0 || math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			return ChiSquareResult{}, fmt.Errorf("stats: negative or NaN count in bin %d", i)
+		}
+		ta += a[i]
+		tb += b[i]
+	}
+	if ta != tb {
+		return ChiSquareResult{}, fmt.Errorf("stats: totals differ (%v vs %v); the equal-total statistic does not apply", ta, tb)
+	}
+	if ta == 0 {
+		return ChiSquareResult{}, fmt.Errorf("stats: empty histograms")
+	}
+	var stat float64
+	df := -1
+	for i := range a {
+		s := a[i] + b[i]
+		if s == 0 {
+			continue
+		}
+		d := a[i] - b[i]
+		stat += d * d / s
+		df++
+	}
+	if df < 1 {
+		return ChiSquareResult{Statistic: stat, DF: 0, PValue: 1}, nil
 	}
 	return ChiSquareResult{Statistic: stat, DF: df, PValue: 1 - ChiSquareCDF(stat, df)}, nil
 }
