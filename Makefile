@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify fuzz fuzz-smoke check bench perf
+.PHONY: all build test vet race race-runtime verify fuzz fuzz-smoke check bench perf
 
 all: check
 
@@ -17,6 +17,12 @@ vet:
 # solver and the experiment worker pool under -race.
 race:
 	$(GO) test -race ./...
+
+# Focused race pass over the solver runtime (persistent worker pool,
+# cancellation, panic-to-error, run log), repeated to shake out
+# scheduling-dependent interleavings (DESIGN.md §9).
+race-runtime:
+	$(GO) test -race -count=3 -run 'TestSolve|TestRunLog|TestOnSweep|TestSchedule' ./internal/mrf ./internal/runopt
 
 # Statistical conformance battery + golden-trace regression (DESIGN.md §8).
 # Fails on any distribution non-conformance or golden drift.

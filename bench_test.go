@@ -159,7 +159,7 @@ func BenchmarkBarkerSample56(b *testing.B) {
 	state := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		state = s.Sample(energies, state)
+		state = core.MustSample(s, energies, state)
 	}
 }
 

@@ -5,6 +5,7 @@
 //
 //	rsu-segment -image 3 -k 6 -sampler new -out out/
 //	rsu-segment -pgm photo.pgm -k 4 -sampler software
+//	rsu-segment -timeout 30s -runlog -
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"rsu/internal/apps/segment"
 	"rsu/internal/core"
 	"rsu/internal/img"
+	"rsu/internal/runopt"
 	"rsu/internal/synth"
 )
 
@@ -33,7 +35,9 @@ func main() {
 		iters   = flag.Int("iters", 0, "override Gibbs iterations (0 = default 30)")
 		workers = flag.Int("workers", 0, "solver workers: 0 = GOMAXPROCS, 1 = serial")
 		out     = flag.String("out", "", "directory for PGM outputs")
+		ropt    runopt.Flags
 	)
+	ropt.Register(flag.CommandLine)
 	flag.Parse()
 
 	p := segment.DefaultParams()
@@ -47,6 +51,13 @@ func main() {
 	}
 	p.SamplerFactory = core.StreamFactory(*seed, build)
 	p.Workers = *workers
+
+	rt, err := ropt.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	p.Ctx = rt.Context()
 
 	var scene *synth.SegScene
 	if *pgmPath != "" {
@@ -62,8 +73,11 @@ func main() {
 		scene = synth.BSDLike(*index, *k, *scale)
 	}
 
+	p.OnSweep = rt.Hook(scene.Name, nil)
+
 	res, err := segment.Solve(scene, nil, p)
 	if err != nil {
+		rt.Close()
 		log.Fatal(err)
 	}
 	fmt.Printf("%s (%dx%d, k=%d) with %s sampler\n",

@@ -5,6 +5,7 @@
 //
 //	rsu-stereo -dataset teddy -sampler new -out out/
 //	rsu-stereo -dataset poster -sampler software -iters 300
+//	rsu-stereo -timeout 30s -runlog run.jsonl -pprof cpu.out
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"rsu/internal/apps/stereo"
 	"rsu/internal/core"
 	"rsu/internal/img"
+	"rsu/internal/runopt"
 	"rsu/internal/synth"
 )
 
@@ -31,7 +33,9 @@ func main() {
 		iters   = flag.Int("iters", 0, "override annealing iterations (0 = default 500)")
 		workers = flag.Int("workers", 0, "solver workers: 0 = GOMAXPROCS, 1 = serial")
 		out     = flag.String("out", "", "directory for PGM outputs")
+		ropt    runopt.Flags
 	)
+	ropt.Register(flag.CommandLine)
 	flag.Parse()
 
 	var pair *synth.StereoPair
@@ -50,6 +54,7 @@ func main() {
 	if *iters > 0 {
 		p.Schedule.Iterations = *iters
 	}
+	ropt.Apply(&p.Schedule)
 
 	build, err := core.SamplerBuilder(*sampler)
 	if err != nil {
@@ -58,8 +63,17 @@ func main() {
 	p.SamplerFactory = core.StreamFactory(*seed, build)
 	p.Workers = *workers
 
+	rt, err := ropt.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	p.Ctx = rt.Context()
+	p.OnSweep = rt.Hook(*dataset, nil)
+
 	res, err := stereo.Solve(pair, nil, p)
 	if err != nil {
+		rt.Close()
 		log.Fatal(err)
 	}
 	fmt.Printf("%s (%dx%d, %d labels) with %s sampler: BP %.1f%%  RMS %.2f\n",

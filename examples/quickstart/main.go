@@ -23,18 +23,18 @@ func main() {
 	// Energies for four candidate labels (lower energy = more likely).
 	energies := []float64{0, 20, 40, 80}
 	temperature := 30.0
-	unit.SetTemperature(temperature)
+	core.MustSetTemperature(unit, temperature)
 
 	// The software baseline samples the exact Boltzmann distribution.
 	software := core.NewSoftwareSampler(rng.NewXoshiro256(43))
-	software.SetTemperature(temperature)
+	core.MustSetTemperature(software, temperature)
 
 	const draws = 200000
 	rsu := make([]int, len(energies))
 	ref := make([]int, len(energies))
 	for i := 0; i < draws; i++ {
-		rsu[unit.Sample(energies, 0)]++
-		ref[software.Sample(energies, 0)]++
+		rsu[core.MustSample(unit, energies, 0)]++
+		ref[core.MustSample(software, energies, 0)]++
 	}
 
 	fmt.Println("label   energy   P(exact)   P(software)   P(RSU-G)")

@@ -7,6 +7,7 @@
 package flow
 
 import (
+	"context"
 	"math"
 
 	"rsu/internal/core"
@@ -41,6 +42,21 @@ type Params struct {
 	// Workers selects the parallel solver's worker count when
 	// SamplerFactory is set: 0 = GOMAXPROCS, 1 = exact serial behavior.
 	Workers int
+	// Ctx, when non-nil, bounds the solve: cancellation or deadline expiry
+	// aborts between sweeps with the context's error. nil means no bound.
+	Ctx context.Context
+	// OnSweep, when non-nil, receives every sweep's labeling and SolveStats
+	// record (see mrf.SolveOptions.OnSweep for the retention contract). The
+	// pyramid solver invokes it per level.
+	OnSweep func(iter int, lab *img.Labels, st mrf.SolveStats)
+}
+
+// ctx resolves the solve context.
+func (p Params) ctx() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultParams returns the tuned parameter set shared by all samplers.
@@ -99,9 +115,10 @@ type Result struct {
 // scores the result with the Middlebury average end-point error.
 func Solve(pair *synth.FlowPair, sampler core.LabelSampler, p Params) (*Result, error) {
 	prob := BuildProblem(pair, p)
-	lab, err := mrf.SolveWith(prob, sampler, p.SamplerFactory, p.Schedule, mrf.SolveOptions{
+	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory, p.Schedule, mrf.SolveOptions{
 		Init:    initialLabels(pair),
 		Workers: p.Workers,
+		OnSweep: p.OnSweep,
 	})
 	if err != nil {
 		return nil, err

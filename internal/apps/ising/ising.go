@@ -8,6 +8,7 @@
 package ising
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,6 +45,13 @@ type Model struct {
 	// Workers selects the parallel solver's worker count when
 	// SamplerFactory is set: 0 = GOMAXPROCS, 1 = exact serial behavior.
 	Workers int
+	// Ctx, when non-nil, bounds Run: cancellation or deadline expiry aborts
+	// between sweeps with the context's error. nil means no bound.
+	Ctx context.Context
+	// OnSweep, when non-nil, additionally receives every sweep's labeling
+	// and SolveStats record (see mrf.SolveOptions.OnSweep for the retention
+	// contract) after the model's own measurement hook runs.
+	OnSweep func(iter int, lab *img.Labels, st mrf.SolveStats)
 }
 
 // DefaultModel returns a 32x32 lattice with J = 16, h = 0.
@@ -125,19 +133,25 @@ func (m Model) Run(s core.LabelSampler, T float64, burn, measure int, seed uint6
 	}
 	var obs Observables
 	count := 0
-	_, err := mrf.SolveWith(prob, s, m.SamplerFactory,
+	ctx := m.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	_, err := mrf.SolveWithCtx(ctx, prob, s, m.SamplerFactory,
 		mrf.Schedule{T0: T * m.J, Alpha: 1, Iterations: burn + measure},
 		mrf.SolveOptions{
 			Init:    init,
 			Workers: m.Workers,
-			OnSweep: func(iter int, lab *img.Labels) {
-				if iter < burn {
-					return
+			OnSweep: func(iter int, lab *img.Labels, st mrf.SolveStats) {
+				if iter >= burn {
+					mag, e := m.measure(lab)
+					obs.Magnetization += mag
+					obs.Energy += e
+					count++
 				}
-				mag, e := m.measure(lab)
-				obs.Magnetization += mag
-				obs.Energy += e
-				count++
+				if m.OnSweep != nil {
+					m.OnSweep(iter, lab, st)
+				}
 			},
 		})
 	if err != nil {

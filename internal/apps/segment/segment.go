@@ -6,6 +6,7 @@
 package segment
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -38,6 +39,20 @@ type Params struct {
 	// Workers selects the parallel solver's worker count when
 	// SamplerFactory is set: 0 = GOMAXPROCS, 1 = exact serial behavior.
 	Workers int
+	// Ctx, when non-nil, bounds the solve: cancellation or deadline expiry
+	// aborts between sweeps with the context's error. nil means no bound.
+	Ctx context.Context
+	// OnSweep, when non-nil, receives every sweep's labeling and SolveStats
+	// record (see mrf.SolveOptions.OnSweep for the retention contract).
+	OnSweep func(iter int, lab *img.Labels, st mrf.SolveStats)
+}
+
+// ctx resolves the solve context.
+func (p Params) ctx() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultParams returns the tuned parameter set shared by all samplers.
@@ -147,9 +162,9 @@ func Solve(scene *synth.SegScene, sampler core.LabelSampler, p Params) (*Result,
 		}
 		init.L[i] = best
 	}
-	lab, err := mrf.SolveWith(prob, sampler, p.SamplerFactory,
+	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory,
 		mrf.Schedule{T0: p.Temperature, Alpha: 1, Iterations: p.Iterations},
-		mrf.SolveOptions{Init: init, Workers: p.Workers})
+		mrf.SolveOptions{Init: init, Workers: p.Workers, OnSweep: p.OnSweep})
 	if err != nil {
 		return nil, err
 	}

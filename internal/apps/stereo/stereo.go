@@ -6,6 +6,7 @@
 package stereo
 
 import (
+	"context"
 	"math"
 
 	"rsu/internal/core"
@@ -39,6 +40,20 @@ type Params struct {
 	// Workers selects the parallel solver's worker count when
 	// SamplerFactory is set: 0 = GOMAXPROCS, 1 = exact serial behavior.
 	Workers int
+	// Ctx, when non-nil, bounds the solve: cancellation or deadline expiry
+	// aborts between sweeps with the context's error. nil means no bound.
+	Ctx context.Context
+	// OnSweep, when non-nil, receives every sweep's labeling and SolveStats
+	// record (see mrf.SolveOptions.OnSweep for the retention contract).
+	OnSweep func(iter int, lab *img.Labels, st mrf.SolveStats)
+}
+
+// ctx resolves the solve context.
+func (p Params) ctx() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultParams returns the tuned parameter set used across the experiments.
@@ -101,7 +116,8 @@ const texturelessVarianceCutoff = 40
 // scores the result against ground truth using the paper's metrics.
 func Solve(pair *synth.StereoPair, sampler core.LabelSampler, p Params) (*Result, error) {
 	prob := BuildProblem(pair, p)
-	lab, err := mrf.SolveWith(prob, sampler, p.SamplerFactory, p.Schedule, mrf.SolveOptions{Workers: p.Workers})
+	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory, p.Schedule,
+		mrf.SolveOptions{Workers: p.Workers, OnSweep: p.OnSweep})
 	if err != nil {
 		return nil, err
 	}

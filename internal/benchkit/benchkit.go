@@ -97,11 +97,11 @@ func unitSamplePair(name string, cfg core.Config, labels int) Result {
 		return func(n int) {
 			u := core.MustUnit(cfg, rng.NewXoshiro256(1), true)
 			u.SetLegacyKernels(legacy)
-			u.SetTemperature(20)
+			core.MustSetTemperature(u, 20)
 			energies := benchEnergies(labels)
 			cur := 0
 			for i := 0; i < n; i++ {
-				cur = u.Sample(energies, cur)
+				cur = core.MustSample(u, energies, cur)
 			}
 		}
 	}
@@ -158,11 +158,11 @@ func stereoFullAppPair(workers int) Result {
 			lab := img.NewLabels(prob.W, prob.H)
 			energies := make([]float64, prob.Labels)
 			for k := 0; k < sched.Iterations; k++ {
-				u.SetTemperature(sched.Temperature(k))
+				core.MustSetTemperature(u, sched.Temperature(k))
 				for y := 0; y < prob.H; y++ {
 					for x := 0; x < prob.W; x++ {
 						prob.LabelEnergies(energies, singles, lab, x, y)
-						lab.Set(x, y, u.Sample(energies, lab.At(x, y)))
+						lab.Set(x, y, core.MustSample(u, energies, lab.At(x, y)))
 					}
 				}
 			}

@@ -182,8 +182,12 @@ func RunBattery(points []DesignPoint, o BatteryOptions) (*BatteryReport, error) 
 			return nil, fmt.Errorf("conformance: point %q: %w", pt.Name, err)
 		}
 		legacy.SetLegacyKernels(true)
-		fast.SetTemperature(pt.T)
-		legacy.SetTemperature(pt.T)
+		if err := fast.SetTemperature(pt.T); err != nil {
+			return nil, fmt.Errorf("conformance: point %q: %w", pt.Name, err)
+		}
+		if err := legacy.SetTemperature(pt.T); err != nil {
+			return nil, fmt.Errorf("conformance: point %q: %w", pt.Name, err)
+		}
 		path := KernelPath(pt.Config)
 
 		for ei, energies := range pt.Energies {
@@ -198,8 +202,16 @@ func RunBattery(points []DesignPoint, o BatteryOptions) (*BatteryReport, error) 
 			obsFast := make([]float64, m+1) // cell m = kept current label
 			obsLegacy := make([]float64, m+1)
 			for s := 0; s < o.Samples; s++ {
-				obsFast[cell(fast.Sample(energies, -1), m)]++
-				obsLegacy[cell(legacy.Sample(energies, -1), m)]++
+				fs, err := fast.Sample(energies, -1)
+				if err != nil {
+					return nil, fmt.Errorf("conformance: point %q energies %d: %w", pt.Name, ei, err)
+				}
+				ls, err := legacy.Sample(energies, -1)
+				if err != nil {
+					return nil, fmt.Errorf("conformance: point %q energies %d: %w", pt.Name, ei, err)
+				}
+				obsFast[cell(fs, m)]++
+				obsLegacy[cell(ls, m)]++
 			}
 			for _, k := range []struct {
 				kind string

@@ -42,10 +42,10 @@ func TestBatteryRejectsWrongDistribution(t *testing.T) {
 
 	const n = 20000
 	u := core.MustUnit(pt.Config, rng.NewXoshiro256(3), true)
-	u.SetTemperature(pt.T)
+	core.MustSetTemperature(u, pt.T)
 	obs := make([]float64, len(energies)+1)
 	for i := 0; i < n; i++ {
-		obs[cell(u.Sample(energies, -1), len(energies))]++
+		obs[cell(core.MustSample(u, energies, -1), len(energies))]++
 	}
 
 	if p, ok := conformanceP(obs, want, n); !ok || p < 1e-3 {

@@ -61,9 +61,12 @@ func FuzzUnitSample(f *testing.F) {
 		for _, legacy := range []bool{false, true} {
 			u := core.MustUnit(cfg, rng.NewXoshiro256(seed|1), seed%2 == 0)
 			u.SetLegacyKernels(legacy)
-			u.SetTemperature(T)
+			core.MustSetTemperature(u, T)
 			for i := 0; i < 8; i++ {
-				got := u.Sample(energies, current)
+				got, err := u.Sample(energies, current)
+				if err != nil {
+					t.Fatalf("cfg %s legacy %v T %v: Sample error: %v", cfg.Name, legacy, T, err)
+				}
 				if got != current && (got < 0 || got >= m) {
 					t.Fatalf("cfg %s legacy %v T %v: Sample -> %d, want current %d or in [0,%d)",
 						cfg.Name, legacy, T, got, current, m)
@@ -104,16 +107,23 @@ func FuzzLambdaCode(f *testing.F) {
 
 		lut := core.MustUnit(cfg, rng.NewXoshiro256(1), true)
 		cmp := core.MustUnit(cfg, rng.NewXoshiro256(1), false)
-		lut.SetTemperature(T)
-		cmp.SetTemperature(T)
+		core.MustSetTemperature(lut, T)
+		core.MustSetTemperature(cmp, T)
 
-		cl, ch := lut.LambdaCode(lo), lut.LambdaCode(hi)
+		code := func(u *core.Unit, e float64) int {
+			c, err := u.LambdaCode(e)
+			if err != nil {
+				t.Fatalf("cfg %s T %v: LambdaCode(%v): %v", cfg.Name, T, e, err)
+			}
+			return c
+		}
+		cl, ch := code(lut, lo), code(lut, hi)
 		for e, c := range map[float64]int{lo: cl, hi: ch} {
 			if c < 0 || c > cfg.MaxLambdaCode() {
 				t.Fatalf("cfg %s T %v: LambdaCode(%v) = %d outside [0,%d]",
 					cfg.Name, T, e, c, cfg.MaxLambdaCode())
 			}
-			if bc := cmp.LambdaCode(e); bc != c {
+			if bc := code(cmp, e); bc != c {
 				t.Fatalf("cfg %s T %v: LUT code %d != boundary code %d at e = %v",
 					cfg.Name, T, c, bc, e)
 			}

@@ -96,7 +96,11 @@ func (s Scenario) Run() (*Trace, error) {
 	lab, err := mrf.SolveAuto(prob, factory, sched, mrf.SolveOptions{
 		Init:    init,
 		Workers: s.Workers,
-		OnSweep: func(iter int, lab *img.Labels) {
+		// The trace pins the historical byte format: keep evaluating the
+		// energy through Problem.TotalEnergy rather than trusting
+		// SolveStats.Energy, so the golden bytes cannot drift with the
+		// observability layer.
+		OnSweep: func(iter int, lab *img.Labels, st mrf.SolveStats) {
 			tr.Energy = append(tr.Energy, prob.TotalEnergy(lab))
 		},
 	})

@@ -73,7 +73,7 @@ func TestGoldenSerialMatchesOneWorker(t *testing.T) {
 	serial := &Trace{App: s.App, Workers: 1}
 	lab, err := mrf.Solve(prob, factory(0), sched, mrf.SolveOptions{
 		Init: init,
-		OnSweep: func(iter int, lab *img.Labels) {
+		OnSweep: func(iter int, lab *img.Labels, st mrf.SolveStats) {
 			serial.Energy = append(serial.Energy, prob.TotalEnergy(lab))
 		},
 	})

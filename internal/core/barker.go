@@ -38,7 +38,7 @@ func NewBarkerSampler(cfg Config, src rng.Source) (*BarkerSampler, error) {
 }
 
 // SetTemperature updates the annealing temperature.
-func (b *BarkerSampler) SetTemperature(T float64) { b.unit.SetTemperature(T) }
+func (b *BarkerSampler) SetTemperature(T float64) error { return b.unit.SetTemperature(T) }
 
 // Stats exposes the underlying unit's counters.
 func (b *BarkerSampler) Stats() Stats { return b.unit.Stats() }
@@ -48,27 +48,30 @@ func (b *BarkerSampler) Stats() Stats { return b.unit.Stats() }
 // (quantization, scaling, conversion, binned truncated first-to-fire), so
 // all precision effects the paper studies apply to the acceptance decision
 // too.
-func (b *BarkerSampler) Sample(energies []float64, current int) int {
+func (b *BarkerSampler) Sample(energies []float64, current int) (int, error) {
 	m := len(energies)
 	if m == 0 {
-		panic("core: Sample requires at least one label")
+		return current, fmt.Errorf("core: Sample requires at least one label")
 	}
 	if current < 0 || current >= m {
-		panic("core: current label out of range")
+		return current, fmt.Errorf("core: current label %d out of range [0,%d)", current, m)
 	}
 	if m == 1 {
-		return 0
+		return 0, nil
 	}
 	proposal := rng.Intn(b.src, m-1)
 	if proposal >= current {
 		proposal++
 	}
 	pair := [2]float64{energies[current], energies[proposal]}
-	winner := b.unit.Sample(pair[:], 0)
-	if winner == 1 {
-		return proposal
+	winner, err := b.unit.Sample(pair[:], 0)
+	if err != nil {
+		return current, err
 	}
-	return current
+	if winner == 1 {
+		return proposal, nil
+	}
+	return current, nil
 }
 
 var _ LabelSampler = (*BarkerSampler)(nil)

@@ -20,7 +20,7 @@ func TestBarkerAcceptanceMatchesRule(t *testing.T) {
 	const n = 200000
 	accepted := 0
 	for i := 0; i < n; i++ {
-		if b.Sample(energies, 0) == 1 {
+		if MustSample(b, energies, 0) == 1 {
 			accepted++
 		}
 	}
@@ -55,7 +55,7 @@ func TestBarkerStationaryDistribution(t *testing.T) {
 	counts := make([]float64, 3)
 	const burn, n = 2000, 400000
 	for i := 0; i < burn+n; i++ {
-		state = b.Sample(energies, state)
+		state = MustSample(b, energies, state)
 		if i >= burn {
 			counts[state]++
 		}
@@ -81,7 +81,7 @@ func TestBarkerQuantizedStillConverges(t *testing.T) {
 	atZero := 0
 	const n = 50000
 	for i := 0; i < n; i++ {
-		state = b.Sample(energies, state)
+		state = MustSample(b, energies, state)
 		if state == 0 {
 			atZero++
 		}
@@ -96,7 +96,7 @@ func TestBarkerEdgeCases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := b.Sample([]float64{7}, 0); got != 0 {
+	if got := MustSample(b, []float64{7}, 0); got != 0 {
 		t.Fatal("single label must return 0")
 	}
 	if _, err := NewBarkerSampler(FloatReference(), nil); err == nil {
@@ -119,7 +119,7 @@ func TestBarkerProposalNeverCurrent(t *testing.T) {
 	seen := map[int]bool{}
 	state := 2
 	for i := 0; i < 5000; i++ {
-		state = b.Sample(energies, state)
+		state = MustSample(b, energies, state)
 		seen[state] = true
 	}
 	if len(seen) != 6 {
@@ -127,12 +127,9 @@ func TestBarkerProposalNeverCurrent(t *testing.T) {
 	}
 }
 
-func TestBarkerPanicsOnBadCurrent(t *testing.T) {
+func TestBarkerErrorsOnBadCurrent(t *testing.T) {
 	b, _ := NewBarkerSampler(FloatReference(), rng.NewXoshiro256(6))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for out-of-range current")
-		}
-	}()
-	b.Sample([]float64{1, 2}, 5)
+	if _, err := b.Sample([]float64{1, 2}, 5); err == nil {
+		t.Fatal("expected error for out-of-range current")
+	}
 }

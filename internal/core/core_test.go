@@ -176,8 +176,13 @@ func TestScalingInvariance(t *testing.T) {
 		codesB := make([]int, 3)
 		min := math.Min(base[0], math.Min(base[1], base[2]))
 		for i, e := range base {
-			codesA[i] = u.LambdaCode(e - min)
-			codesB[i] = u.LambdaCode((e + shift) - (min + shift))
+			ca, errA := u.LambdaCode(e - min)
+			cb, errB := u.LambdaCode((e + shift) - (min + shift))
+			if errA != nil || errB != nil {
+				return false
+			}
+			codesA[i] = ca
+			codesB[i] = cb
 		}
 		for i := range codesA {
 			if codesA[i] != codesB[i] {
@@ -198,7 +203,7 @@ func TestSoftwareSamplerBoltzmann(t *testing.T) {
 	const n = 200000
 	counts := [3]int{}
 	for i := 0; i < n; i++ {
-		counts[s.Sample(energies, 0)]++
+		counts[MustSample(s, energies, 0)]++
 	}
 	var z float64
 	want := [3]float64{}
@@ -225,14 +230,14 @@ func TestContinuousFirstToFireMatchesRatios(t *testing.T) {
 	T := 100.0
 	u.SetTemperature(T)
 	e2 := T * math.Log(8.0/2.5) // value 2.5 -> floor 2
-	if c := u.LambdaCode(e2); c != 2 {
-		t.Fatalf("setup: code(e2) = %d, want 2", c)
+	if c, err := u.LambdaCode(e2); err != nil || c != 2 {
+		t.Fatalf("setup: code(e2) = %d (err %v), want 2", c, err)
 	}
 	energies := []float64{0, e2}
 	const n = 200000
 	wins0 := 0
 	for i := 0; i < n; i++ {
-		if u.Sample(energies, 0) == 0 {
+		if MustSample(u, energies, 0) == 0 {
 			wins0++
 		}
 	}
@@ -255,8 +260,8 @@ func TestFloatReferenceMatchesSoftware(t *testing.T) {
 	cu := make([]int, 4)
 	cs := make([]int, 4)
 	for i := 0; i < n; i++ {
-		cu[u.Sample(energies, 0)]++
-		cs[s.Sample(energies, 0)]++
+		cu[MustSample(u, energies, 0)]++
+		cs[MustSample(s, energies, 0)]++
 	}
 	for i := range cu {
 		du := float64(cu[i]) / n
@@ -347,8 +352,8 @@ func TestNoFireKeepsCurrentLabel(t *testing.T) {
 	cfg := Config{EnergyBits: 8, EnergyMax: 255, LambdaBits: 4,
 		Mode: ConvertCutoffNoScale, TimeBits: 5, Truncation: 0.5, Tie: TieFirstWins}
 	u := MustUnit(cfg, rng.NewXoshiro256(17), true)
-	u.SetTemperature(1) // exp(-200)*16 << 1 -> all codes 0
-	got := u.Sample([]float64{200, 220, 240}, 2)
+	MustSetTemperature(u, 1) // exp(-200)*16 << 1 -> all codes 0
+	got := MustSample(u, []float64{200, 220, 240}, 2)
 	if got != 2 {
 		t.Fatalf("no-fire evaluation returned %d, want current label 2", got)
 	}
@@ -371,7 +376,7 @@ func TestTieBreakPolicies(t *testing.T) {
 	first.Tie = TieFirstWins
 	uf := MustUnit(first, rng.NewXoshiro256(18), true)
 	for i := 0; i < 3000; i++ {
-		if got := uf.Sample(energies, 1); got == 1 {
+		if got := MustSample(uf, energies, 1); got == 1 {
 			t.Fatal("TieFirstWins must always pick label 0 when both fire in bin 1")
 		}
 	}
@@ -382,7 +387,7 @@ func TestTieBreakPolicies(t *testing.T) {
 	ones := 0
 	const n = 100000
 	for i := 0; i < n; i++ {
-		ones += ur.Sample(energies, 0)
+		ones += MustSample(ur, energies, 0)
 	}
 	frac := float64(ones) / n
 	if math.Abs(frac-0.5) > 0.01 {
@@ -403,8 +408,8 @@ func TestUnitLUTvsBoundarySameDistribution(t *testing.T) {
 	ub.SetTemperature(30)
 	const n = 100000
 	for i := 0; i < n; i++ {
-		cl[ul.Sample(energies, 0)]++
-		cb[ub.Sample(energies, 0)]++
+		cl[MustSample(ul, energies, 0)]++
+		cb[MustSample(ub, energies, 0)]++
 	}
 	// Identical seeds and identical conversion functions => identical draws.
 	for i := range cl {
@@ -439,14 +444,38 @@ func TestNewUnitErrors(t *testing.T) {
 	}
 }
 
-func TestSetTemperaturePanicsOnNonPositive(t *testing.T) {
+func TestSetTemperatureErrorsOnBadInput(t *testing.T) {
 	u := MustUnit(NewRSUG(), rng.NewSplitMix64(2), true)
+	for _, T := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := u.SetTemperature(T); err == nil {
+			t.Errorf("expected error for T = %v", T)
+		}
+	}
+	// A rejected temperature must not disturb the unit: sampling still works.
+	if err := u.SetTemperature(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Sample([]float64{0, 50}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustSetTemperaturePanics(t *testing.T) {
+	u := MustUnit(NewRSUG(), rng.NewSplitMix64(3), true)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for T = 0")
 		}
 	}()
-	u.SetTemperature(0)
+	MustSetTemperature(u, 0)
+}
+
+func TestSampleErrorsOnEmptyEnergies(t *testing.T) {
+	u := MustUnit(NewRSUG(), rng.NewSplitMix64(4), true)
+	MustSetTemperature(u, 5)
+	if _, err := u.Sample(nil, -1); err == nil {
+		t.Fatal("expected error for empty energy vector")
+	}
 }
 
 func TestConvertModeString(t *testing.T) {

@@ -132,16 +132,16 @@ func TestWinProbabilityMatchesTheoryTwoLabels(t *testing.T) {
 	wantA := pAwin / (pAwin + pBwin)
 
 	// Drive the real pipeline with energies that produce codes 8 and 2.
-	u.SetTemperature(100)
+	MustSetTemperature(u, 100)
 	eB := 100 * math.Log(8.0/2.5)
-	if got := u.LambdaCode(eB); got != codeB {
-		t.Fatalf("setup: code %d, want %d", got, codeB)
+	if got, err := u.LambdaCode(eB); err != nil || got != codeB {
+		t.Fatalf("setup: code %d (err %v), want %d", got, err, codeB)
 	}
 	energies := []float64{0, eB}
 	const n = 300000
 	winsA, decided := 0, 0
 	for i := 0; i < n; i++ {
-		got := u.Sample(energies, -1)
+		got := MustSample(u, energies, -1)
 		if got == -1 {
 			continue // no fire: kept sentinel
 		}

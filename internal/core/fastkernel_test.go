@@ -39,13 +39,13 @@ func TestFastBinnedKernelBitIdentical(t *testing.T) {
 		legacy.SetLegacyKernels(true)
 		energies := kernelTestEnergies()
 		for _, T := range []float64{32, 8, 1, 0.2} {
-			fast.SetTemperature(T)
-			legacy.SetTemperature(T)
+			MustSetTemperature(fast, T)
+			MustSetTemperature(legacy, T)
 			cur := 0
 			for i := 0; i < 5000; i++ {
 				e := energies[i%len(energies)]
-				a := fast.Sample(e, cur%len(e))
-				b := legacy.Sample(e, cur%len(e))
+				a := MustSample(fast, e, cur%len(e))
+				b := MustSample(legacy, e, cur%len(e))
 				if a != b {
 					t.Fatalf("%s T=%v draw %d: fast %d, legacy %d", cfg.Name, T, i, a, b)
 				}
@@ -86,13 +86,13 @@ func TestFastKernelsStatisticallyEquivalent(t *testing.T) {
 			fast := MustUnit(cfg, rng.NewXoshiro256(uint64(1000+ei)), true)
 			legacy := MustUnit(cfg, rng.NewXoshiro256(uint64(5000+ei)), true)
 			legacy.SetLegacyKernels(true)
-			fast.SetTemperature(2)
-			legacy.SetTemperature(2)
+			MustSetTemperature(fast, 2)
+			MustSetTemperature(legacy, 2)
 			ha := make([]int, len(energies))
 			hb := make([]int, len(energies))
 			for i := 0; i < n; i++ {
-				ha[fast.Sample(energies, i%len(energies))]++
-				hb[legacy.Sample(energies, i%len(energies))]++
+				ha[MustSample(fast, energies, i%len(energies))]++
+				hb[MustSample(legacy, energies, i%len(energies))]++
 			}
 			if p := twoSampleChiSquare(ha, hb); p < 1e-3 {
 				t.Errorf("%s energies #%d: fast and legacy kernels differ (p=%.2g, fast=%v legacy=%v)",
@@ -111,11 +111,11 @@ func TestFastQuantizedCodesMatchLegacy(t *testing.T) {
 	legacy := MustUnit(cfg, rng.NewXoshiro256(77), false)
 	legacy.SetLegacyKernels(true)
 	for T := 40.0; T > 0.05; T *= 0.7 {
-		fast.SetTemperature(T)
-		legacy.SetTemperature(T)
+		MustSetTemperature(fast, T)
+		MustSetTemperature(legacy, T)
 		for _, e := range kernelTestEnergies() {
-			a := fast.Sample(e, 0)
-			b := legacy.Sample(e, 0)
+			a := MustSample(fast, e, 0)
+			b := MustSample(legacy, e, 0)
 			if a != b {
 				t.Fatalf("T=%v energies %v: fast %d legacy %d", T, e, a, b)
 			}

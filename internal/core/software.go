@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"rsu/internal/rng"
@@ -21,20 +22,23 @@ func NewSoftwareSampler(src rng.Source) *SoftwareSampler {
 	return &SoftwareSampler{src: src, T: 1}
 }
 
-// SetTemperature updates the annealing temperature.
-func (s *SoftwareSampler) SetTemperature(T float64) {
-	if T <= 0 {
-		panic("core: temperature must be positive")
+// SetTemperature updates the annealing temperature. A non-positive or
+// non-finite temperature is rejected with an error.
+func (s *SoftwareSampler) SetTemperature(T float64) error {
+	if !validTemperature(T) {
+		return fmt.Errorf("core: temperature must be positive and finite, got %v", T)
 	}
 	s.T = T
+	return nil
 }
 
 // Sample draws a label from the Boltzmann distribution over the energies.
 // The current label is unused: with float precision every label has positive
-// probability, so a sample is always produced.
-func (s *SoftwareSampler) Sample(energies []float64, _ int) int {
+// probability, so a sample is always produced. An empty energy vector is
+// rejected with an error.
+func (s *SoftwareSampler) Sample(energies []float64, current int) (int, error) {
 	if len(energies) == 0 {
-		panic("core: Sample requires at least one label")
+		return current, fmt.Errorf("core: Sample requires at least one label")
 	}
 	if cap(s.buf) < len(energies) {
 		s.buf = make([]float64, len(energies))
@@ -49,7 +53,7 @@ func (s *SoftwareSampler) Sample(energies []float64, _ int) int {
 	for i, e := range energies {
 		w[i] = math.Exp(-(e - min) / s.T)
 	}
-	return rng.Categorical(s.src, w)
+	return rng.Categorical(s.src, w), nil
 }
 
 var (

@@ -14,9 +14,40 @@ import (
 // once per simulated-annealing iteration (which in the previous RSU-G
 // design costs a LUT rewrite and in the new design a stall-free boundary
 // register update).
+//
+// Both methods report invalid inputs as errors instead of panicking:
+// SetTemperature rejects a non-positive or non-finite temperature, and
+// Sample rejects an empty energy vector. Library code must not panic on
+// bad input — the MustSample / MustSetTemperature helpers restore the
+// panic-on-error behavior for tests, examples and benchmarks whose inputs
+// are known valid.
 type LabelSampler interface {
-	SetTemperature(T float64)
-	Sample(energies []float64, current int) int
+	SetTemperature(T float64) error
+	Sample(energies []float64, current int) (int, error)
+}
+
+// MustSample draws from s and panics on error — the escape hatch for
+// callers with known-valid inputs (tests, examples, benchmarks).
+func MustSample(s LabelSampler, energies []float64, current int) int {
+	l, err := s.Sample(energies, current)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// MustSetTemperature sets the sampler temperature and panics on error —
+// the escape hatch companion to MustSample.
+func MustSetTemperature(s LabelSampler, T float64) {
+	if err := s.SetTemperature(T); err != nil {
+		panic(err)
+	}
+}
+
+// validTemperature reports whether T is a usable annealing temperature:
+// positive and finite (the !(T > 0) form also rejects NaN).
+func validTemperature(T float64) bool {
+	return T > 0 && !math.IsInf(T, 1)
 }
 
 // Stats accumulates observable behavior of a Unit, used by tests and by the
@@ -92,7 +123,9 @@ func NewUnit(cfg Config, src rng.Source, useLUT bool) (*Unit, error) {
 		u.emaxCode = u.equant.MaxCode()
 		u.escale = float64(u.emaxCode) / (cfg.EnergyMax - 0)
 	}
-	u.SetTemperature(1)
+	if err := u.SetTemperature(1); err != nil {
+		return nil, err
+	}
 	return u, nil
 }
 
@@ -128,9 +161,11 @@ func (u *Unit) LegacyKernels() bool { return u.legacy }
 
 // SetTemperature folds the simulated-annealing temperature into the
 // energy-to-lambda conversion, rebuilding the LUT or boundary registers.
-func (u *Unit) SetTemperature(T float64) {
-	if T <= 0 {
-		panic("core: temperature must be positive")
+// A non-positive or non-finite temperature is rejected with an error and
+// leaves the unit's state untouched.
+func (u *Unit) SetTemperature(T float64) error {
+	if !validTemperature(T) {
+		return fmt.Errorf("core: temperature must be positive and finite, got %v", T)
 	}
 	u.T = T
 	if u.cfg.EnergyBits > 0 && u.cfg.LambdaBits > 0 {
@@ -143,23 +178,25 @@ func (u *Unit) SetTemperature(T float64) {
 			u.lutTable = nil
 		}
 	}
+	return nil
 }
 
 // Temperature returns the current annealing temperature.
 func (u *Unit) Temperature() float64 { return u.T }
 
 // LambdaCode returns the decay-rate code the unit assigns to the given
-// effective energy (after scaling) at the current temperature. Exposed for
-// the conversion experiments; Sample is the normal entry point.
-func (u *Unit) LambdaCode(effectiveEnergy float64) int {
+// effective energy (after scaling) at the current temperature, or an error
+// when the configuration has no integer lambda codes. Exposed for the
+// conversion experiments; Sample is the normal entry point.
+func (u *Unit) LambdaCode(effectiveEnergy float64) (int, error) {
 	if u.cfg.LambdaBits <= 0 {
-		panic("core: LambdaCode requires integer lambda configuration")
+		return 0, fmt.Errorf("core: LambdaCode requires integer lambda configuration (config %q has LambdaBits %d)", u.cfg.Name, u.cfg.LambdaBits)
 	}
 	if u.cfg.EnergyBits > 0 {
 		ecode := int(math.Round(effectiveEnergy / u.estep))
-		return u.conv.Code(ecode)
+		return u.conv.Code(ecode), nil
 	}
-	return u.cfg.lambdaCodeFloat(effectiveEnergy, u.T)
+	return u.cfg.lambdaCodeFloat(effectiveEnergy, u.T), nil
 }
 
 // SampleTTF draws one time-to-fluorescence for an integer decay-rate code,
@@ -205,11 +242,12 @@ func (u *Unit) SampleTTFBounded(code int) (bin int, fired bool) {
 // candidate energies, convert to decay-rate codes, draw TTF samples and
 // return the first label to fire. If no label fires within the detection
 // window (all cut off or all truncated) the variable keeps its current
-// label, mirroring hardware where no SPAD pulse arrives.
-func (u *Unit) Sample(energies []float64, current int) int {
+// label, mirroring hardware where no SPAD pulse arrives. An empty energy
+// vector is rejected with an error.
+func (u *Unit) Sample(energies []float64, current int) (int, error) {
 	m := len(energies)
 	if m == 0 {
-		panic("core: Sample requires at least one label")
+		return current, fmt.Errorf("core: Sample requires at least one label")
 	}
 	u.stats.Evaluations++
 	u.stats.LabelEvals += m
@@ -225,7 +263,7 @@ func (u *Unit) Sample(energies []float64, current int) int {
 	if !u.legacy && u.cfg.EnergyBits > 0 && u.cfg.LambdaBits > 0 {
 		// Fully quantized pipeline: stages 1-2 stay in integer energy codes,
 		// skipping the code -> float -> code round-trip of the reference path.
-		return u.sampleQuantized(energies, current)
+		return u.sampleQuantized(energies, current), nil
 	}
 	eff := u.effBuf[:m]
 	if u.cfg.EnergyBits > 0 {
@@ -253,13 +291,13 @@ func (u *Unit) Sample(energies []float64, current int) int {
 	// Float-lambda, continuous-time reference path: exact competing
 	// exponentials, equivalent to categorical sampling with p ∝ e^(-E'/T).
 	if u.cfg.LambdaBits <= 0 && u.cfg.TimeBits <= 0 {
-		return u.sampleContinuousFloat(eff, current)
+		return u.sampleContinuousFloat(eff, current), nil
 	}
 
 	// Float lambda, binned time: rates relative to lambda_0 with the
 	// maximum (E' = 0) mapping to the full-scale rate.
 	if u.cfg.LambdaBits <= 0 {
-		return u.sampleBinnedFloat(eff, current)
+		return u.sampleBinnedFloat(eff, current), nil
 	}
 
 	// Stage 2b: energy-to-lambda conversion.
@@ -285,9 +323,9 @@ func (u *Unit) Sample(energies []float64, current int) int {
 		for i, c := range codes {
 			rates[i] = float64(c)
 		}
-		return u.sampleContinuousRates(rates, current)
+		return u.sampleContinuousRates(rates, current), nil
 	}
-	return u.sampleBinnedCodes(codes, current)
+	return u.sampleBinnedCodes(codes, current), nil
 }
 
 // sampleQuantized is the integer fast path for EnergyBits > 0 and

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -39,6 +40,18 @@ type Options struct {
 	// for every worker count because each point derives its RNG stream
 	// from subSeed of its own tag, never from evaluation order.
 	Workers int
+	// Ctx, when non-nil, bounds every solve the driver performs: when it is
+	// cancelled or its deadline expires, the running solve aborts between
+	// sweeps and the driver returns the context's error. nil means no bound.
+	Ctx context.Context
+}
+
+// ctx resolves the run context.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) scale() int {
@@ -83,6 +96,9 @@ func (o Options) forEach(n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := o.ctx().Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -97,6 +113,10 @@ func (o Options) forEach(n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if err := o.ctx().Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				errs[i] = fn(i)
 			}
 		}()
@@ -178,10 +198,12 @@ func Lookup(id string) (Runner, bool) {
 
 // --- shared helpers ---
 
-// stereoParams returns the tuned stereo parameters with iteration scaling.
+// stereoParams returns the tuned stereo parameters with iteration scaling
+// and the run context threaded through.
 func stereoParams(o Options) stereo.Params {
 	p := stereo.DefaultParams()
 	p.Schedule = o.schedule(p.Schedule)
+	p.Ctx = o.Ctx
 	return p
 }
 

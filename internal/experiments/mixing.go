@@ -90,13 +90,14 @@ func Mixing(o Options) (*MixingResult, error) {
 }
 
 // energySeries runs fixed-temperature Gibbs and returns the post-burn-in
-// per-sweep total energies.
+// per-sweep total energies, taken straight from the solver's SolveStats
+// records instead of re-evaluating the energy in the hook.
 func energySeries(prob *mrf.Problem, s core.LabelSampler, T float64, sweeps, burn int) ([]float64, error) {
 	var series []float64
 	_, err := mrf.Solve(prob, s, mrf.Schedule{T0: T, Alpha: 1, Iterations: sweeps}, mrf.SolveOptions{
-		OnSweep: func(iter int, lab *img.Labels) {
+		OnSweep: func(iter int, lab *img.Labels, st mrf.SolveStats) {
 			if iter >= burn {
-				series = append(series, prob.TotalEnergy(lab))
+				series = append(series, st.Energy)
 			}
 		},
 	})

@@ -108,7 +108,7 @@ func TestEvalMatchesFunctionalModel(t *testing.T) {
 	program(t, u, m)
 
 	ref := core.MustUnit(core.NewRSUG(), rng.NewXoshiro256(6), false)
-	ref.SetTemperature(30)
+	core.MustSetTemperature(ref, 30)
 
 	singles := []uint8{10, 40, 5, 90, 60, 25}
 	neighbors := []uint8{2, 2, 3, 1}
@@ -139,7 +139,7 @@ func TestEvalMatchesFunctionalModel(t *testing.T) {
 			t.Fatal(err)
 		}
 		ci[got]++
-		cr[ref.Sample(refEnergies, 0)]++
+		cr[core.MustSample(ref, refEnergies, 0)]++
 	}
 	for l := 0; l < m; l++ {
 		di, dr := ci[l]/n, cr[l]/n

@@ -217,6 +217,33 @@ func (p *Problem) LabelEnergies(dst []float64, singles []float64, lab *img.Label
 	}
 }
 
+// TotalEnergy returns the full MRF energy of a labeling from the cached
+// tables — the same quantity as Problem.TotalEnergy, evaluated without
+// calling the Singleton closure or the distance dispatch. Terms are
+// accumulated in the same order as Problem.TotalEnergy, so for tables whose
+// entries equal the directly-computed terms the result is bit-identical.
+func (t *Tables) TotalEnergy(lab *img.Labels) float64 {
+	p := t.p
+	if lab.W != p.W || lab.H != p.H {
+		panic("mrf: labeling size mismatch")
+	}
+	L := p.Labels
+	var e float64
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			l := lab.At(x, y)
+			e += t.Singles[(y*p.W+x)*L+l]
+			if x+1 < p.W {
+				e += t.Pair[lab.At(x+1, y)*L+l]
+			}
+			if y+1 < p.H {
+				e += t.Pair[lab.At(x, y+1)*L+l]
+			}
+		}
+	}
+	return e
+}
+
 // TotalEnergy returns the full MRF energy of a labeling: the sum of all
 // singletons plus each doubleton counted once.
 func (p *Problem) TotalEnergy(lab *img.Labels) float64 {

@@ -126,7 +126,7 @@ func TestAnnealingReducesEnergy(t *testing.T) {
 	s := core.NewSoftwareSampler(rng.NewXoshiro256(3))
 	var first, last float64
 	_, err := Solve(p, s, Schedule{T0: 5, Alpha: 0.8, Iterations: 30}, SolveOptions{
-		OnSweep: func(iter int, lab *img.Labels) {
+		OnSweep: func(iter int, lab *img.Labels, st SolveStats) {
 			e := p.TotalEnergy(lab)
 			if iter == 0 {
 				first = e
@@ -159,6 +159,12 @@ func TestScheduleValidate(t *testing.T) {
 		{T0: 1, Alpha: 0, Iterations: 1},
 		{T0: 1, Alpha: 1.1, Iterations: 1},
 		{T0: 1, Alpha: 0.9, Iterations: 0},
+		{T0: math.NaN(), Alpha: 0.9, Iterations: 1},
+		{T0: math.Inf(1), Alpha: 0.9, Iterations: 1},
+		{T0: 1, Alpha: math.NaN(), Iterations: 1},
+		{T0: 1, Alpha: 0.9, Iterations: 1, TFloor: math.NaN()},
+		{T0: 1, Alpha: 0.9, Iterations: 1, TFloor: math.Inf(1)},
+		{T0: 1, Alpha: 0.9, Iterations: 1, TFloor: -1},
 	}
 	for i, s := range bad {
 		if s.Validate() == nil {

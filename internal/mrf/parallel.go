@@ -1,8 +1,10 @@
 package mrf
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"rsu/internal/core"
 	"rsu/internal/img"
@@ -39,6 +41,124 @@ func shardCells(cells []int32, workers int) [][]int32 {
 	return shards
 }
 
+// solverPool is the persistent checkerboard worker pool: one long-lived
+// goroutine per sampler, phase-barrier synchronized. The previous
+// implementation spawned 2×workers fresh goroutines every sweep; the pool
+// starts each goroutine once, parks it on an unbuffered command channel,
+// and drives it through the color phases of every sweep. RNG consumption
+// order is unchanged — worker w still processes exactly shards[color][w]
+// in order with samplers[w] — so results are bit-identical to the
+// per-sweep-spawn solver for a fixed seed set and worker count.
+type solverPool struct {
+	p        *Problem
+	tab      *Tables
+	lab      *img.Labels
+	samplers []core.LabelSampler
+	shards   [2][][]int32
+
+	cmds  []chan int // per-worker phase commands (a checkerboard color)
+	phase sync.WaitGroup
+	exit  sync.WaitGroup
+	errs  []error // per-worker first error; index = worker, owner = worker
+	flips []int   // per-worker flip counts for the current sweep
+}
+
+// newSolverPool starts the worker goroutines.
+func newSolverPool(p *Problem, tab *Tables, lab *img.Labels, samplers []core.LabelSampler, shards [2][][]int32) *solverPool {
+	workers := len(samplers)
+	pool := &solverPool{
+		p: p, tab: tab, lab: lab, samplers: samplers, shards: shards,
+		cmds:  make([]chan int, workers),
+		errs:  make([]error, workers),
+		flips: make([]int, workers),
+	}
+	for w := range pool.cmds {
+		pool.cmds[w] = make(chan int)
+		pool.exit.Add(1)
+		go pool.run(w)
+	}
+	return pool
+}
+
+// run is one worker's loop: park on the command channel, process the
+// commanded color phase over this worker's shard, signal the phase barrier,
+// repeat until the channel closes.
+func (pool *solverPool) run(w int) {
+	defer pool.exit.Done()
+	energies := make([]float64, pool.p.Labels)
+	for color := range pool.cmds[w] {
+		pool.shard(w, color, energies)
+		pool.phase.Done()
+	}
+}
+
+// shard processes worker w's cells of one color class. A sampler error or
+// panic is captured into the worker's error slot (panic-to-error hardening:
+// a panicking sampler must fail the solve, not kill the process); the
+// worker then sits out the rest of the run but keeps honoring the phase
+// barrier so the solve can unwind cleanly.
+func (pool *solverPool) shard(w, color int, energies []float64) {
+	defer func() {
+		if r := recover(); r != nil {
+			pool.errs[w] = fmt.Errorf("mrf: worker %d panicked: %v", w, r)
+		}
+	}()
+	if pool.errs[w] != nil {
+		return
+	}
+	s := pool.samplers[w]
+	p, tab, lab := pool.p, pool.tab, pool.lab
+	for _, c := range pool.shards[color][w] {
+		x, y := int(c)%p.W, int(c)/p.W
+		tab.LabelEnergies(energies, lab, x, y)
+		cur := lab.At(x, y)
+		next, err := s.Sample(energies, cur)
+		if err != nil {
+			pool.errs[w] = fmt.Errorf("mrf: worker %d pixel (%d,%d): %w", w, x, y, err)
+			return
+		}
+		if next != cur {
+			lab.Set(x, y, next)
+			pool.flips[w]++
+		}
+	}
+}
+
+// sweep drives both color phases of one sweep through the barrier and
+// returns the sweep's flip count (and the first worker error, if any).
+// The channel sends publish the main goroutine's writes to the workers;
+// phase.Wait publishes the workers' label writes back — the same
+// happens-before edges the per-sweep WaitGroup used to provide.
+func (pool *solverPool) sweep() (int, error) {
+	for color := 0; color < 2; color++ {
+		pool.phase.Add(len(pool.cmds))
+		for _, cmd := range pool.cmds {
+			cmd <- color
+		}
+		pool.phase.Wait()
+	}
+	flips := 0
+	for w := range pool.flips {
+		flips += pool.flips[w]
+		pool.flips[w] = 0
+	}
+	for _, err := range pool.errs {
+		if err != nil {
+			return flips, err
+		}
+	}
+	return flips, nil
+}
+
+// stop shuts the workers down and waits for every goroutine to exit, so a
+// returned solve never leaks pool goroutines.
+func (pool *solverPool) stop() {
+	for _, cmd := range pool.cmds {
+		close(cmd)
+	}
+	pool.exit.Wait()
+}
+
 // SolveParallel runs checkerboard-parallel simulated-annealing Gibbs
 // sampling: pixels of one checkerboard color have no 4-neighborhood edges
 // between them, so the discrete RSU-G accelerator (and this solver) can
@@ -48,6 +168,15 @@ func shardCells(cells []int32, workers int) [][]int32 {
 // seed set and worker count the result is bit-identical across runs: shard
 // assignment is deterministic and workers write disjoint pixels.
 func SolveParallel(p *Problem, samplers []core.LabelSampler, sched Schedule, opts SolveOptions) (*img.Labels, error) {
+	return SolveParallelCtx(context.Background(), p, samplers, sched, opts)
+}
+
+// SolveParallelCtx is SolveParallel with cooperative cancellation: the
+// context is checked between sweeps (so a finished sweep is always a
+// consistent labeling) and on cancellation the partial labeling is returned
+// together with ctx.Err(). Worker goroutines are fully shut down before the
+// function returns on every path.
+func SolveParallelCtx(ctx context.Context, p *Problem, samplers []core.LabelSampler, sched Schedule, opts SolveOptions) (*img.Labels, error) {
 	if len(samplers) == 0 {
 		return nil, fmt.Errorf("mrf: need at least one sampler")
 	}
@@ -68,32 +197,26 @@ func SolveParallel(p *Problem, samplers []core.LabelSampler, sched Schedule, opt
 		shards[color] = shardCells(cells[color], workers)
 	}
 
-	var wg sync.WaitGroup
+	pool := newSolverPool(p, tab, lab, samplers, shards)
+	defer pool.stop()
+
 	for k := 0; k < sched.Iterations; k++ {
+		if err := ctx.Err(); err != nil {
+			return lab, err
+		}
+		start := time.Now()
 		T := sched.Temperature(k)
 		for _, s := range samplers {
-			s.SetTemperature(T)
-		}
-		for color := 0; color < 2; color++ {
-			for w, shard := range shards[color] {
-				if len(shard) == 0 {
-					continue
-				}
-				wg.Add(1)
-				go func(s core.LabelSampler, shard []int32) {
-					defer wg.Done()
-					energies := make([]float64, p.Labels)
-					for _, c := range shard {
-						x, y := int(c)%p.W, int(c)/p.W
-						tab.LabelEnergies(energies, lab, x, y)
-						lab.Set(x, y, s.Sample(energies, lab.At(x, y)))
-					}
-				}(samplers[w], shard)
+			if err := s.SetTemperature(T); err != nil {
+				return lab, fmt.Errorf("mrf: sweep %d: %w", k, err)
 			}
-			wg.Wait()
+		}
+		flips, err := pool.sweep()
+		if err != nil {
+			return lab, err
 		}
 		if opts.OnSweep != nil {
-			opts.OnSweep(k, lab)
+			emitSweep(opts, tab, lab, k, T, flips, start)
 		}
 	}
 	return lab, nil

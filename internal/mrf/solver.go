@@ -1,13 +1,19 @@
 package mrf
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
 	"rsu/internal/core"
 	"rsu/internal/img"
 )
+
+// DefaultTFloor is the temperature floor a Schedule applies when its TFloor
+// field is zero — the historical hard-coded value.
+const DefaultTFloor = 1e-4
 
 // Schedule is a geometric simulated-annealing schedule: iteration k runs at
 // temperature T0 * Alpha^k, for Iterations full Gibbs sweeps. Alpha = 1
@@ -17,41 +23,81 @@ type Schedule struct {
 	T0         float64
 	Alpha      float64
 	Iterations int
+	// TFloor is the minimum temperature the schedule ever emits. Late
+	// annealing sweeps are clamped here so they stay numerically valid.
+	// 0 selects DefaultTFloor (1e-4, the historical behavior); schedules
+	// that intentionally anneal below that set a smaller positive floor.
+	TFloor float64
 }
 
-// Validate reports schedule errors.
+// floor resolves the effective temperature floor.
+func (s Schedule) floor() float64 {
+	if s.TFloor > 0 {
+		return s.TFloor
+	}
+	return DefaultTFloor
+}
+
+// Validate reports schedule errors. Non-finite parameters (NaN, ±Inf) are
+// rejected: a NaN or +Inf T0 used to slip through the sign checks and
+// produce a schedule whose temperatures never change any label.
 func (s Schedule) Validate() error {
 	switch {
-	case s.T0 <= 0:
-		return fmt.Errorf("mrf: T0 must be positive")
-	case s.Alpha <= 0 || s.Alpha > 1:
-		return fmt.Errorf("mrf: Alpha must be in (0,1]")
+	case !(s.T0 > 0) || math.IsInf(s.T0, 1):
+		return fmt.Errorf("mrf: T0 must be positive and finite, got %v", s.T0)
+	case !(s.Alpha > 0 && s.Alpha <= 1):
+		return fmt.Errorf("mrf: Alpha must be in (0,1], got %v", s.Alpha)
 	case s.Iterations <= 0:
 		return fmt.Errorf("mrf: Iterations must be positive")
+	case s.TFloor < 0 || math.IsNaN(s.TFloor) || math.IsInf(s.TFloor, 1):
+		return fmt.Errorf("mrf: TFloor must be finite and non-negative, got %v", s.TFloor)
 	}
 	return nil
 }
 
-// Temperature returns the temperature of sweep k, floored at a small
-// positive value so late annealing iterations stay numerically valid.
-// The closed form keeps an N-sweep anneal at O(N) multiplications total
-// (the per-sweep O(k) loop it replaces made it O(N²)).
+// Temperature returns the temperature of sweep k, floored at the schedule's
+// TFloor (DefaultTFloor when unset) so late annealing iterations stay
+// numerically valid. The closed form keeps an N-sweep anneal at O(N)
+// multiplications total (the per-sweep O(k) loop it replaces made it O(N²)).
 func (s Schedule) Temperature(k int) float64 {
 	t := s.T0 * math.Pow(s.Alpha, float64(k))
-	const floor = 1e-4
-	if t < floor {
+	if floor := s.floor(); t < floor {
 		t = floor
 	}
 	return t
+}
+
+// SolveStats is the per-sweep observability record delivered to the OnSweep
+// hook — the software analogue of the per-iteration chain statistics the
+// RSU-G's follow-up work treats as first-class outputs.
+type SolveStats struct {
+	// Sweep is the 0-based sweep index (equal to OnSweep's iter argument).
+	Sweep int
+	// T is the annealing temperature the sweep ran at.
+	T float64
+	// Energy is the total MRF energy of the labeling after the sweep.
+	Energy float64
+	// Flips is the number of variables whose label changed during the sweep.
+	Flips int
+	// Elapsed is the wall-clock duration of the sweep (sampling only, not
+	// the hook itself).
+	Elapsed time.Duration
 }
 
 // SolveOptions tunes a Solve run.
 type SolveOptions struct {
 	// Init is the starting labeling; nil starts from all-zero labels.
 	Init *img.Labels
-	// OnSweep, if non-nil, is called after each sweep with the sweep index
-	// and the current labeling (shared storage — copy if retained).
-	OnSweep func(iter int, lab *img.Labels)
+	// OnSweep, if non-nil, is called after each sweep with the sweep index,
+	// the current labeling, and the sweep's SolveStats record.
+	//
+	// The *img.Labels argument is the solver's working buffer: every solver
+	// (serial and parallel) reuses the same storage across sweeps and keeps
+	// mutating it after the hook returns. Callers that retain the labeling
+	// beyond the hook invocation MUST take a copy (lab.Clone()); retaining
+	// the pointer observes later sweeps' mutations. The SolveStats value is
+	// safe to retain.
+	OnSweep func(iter int, lab *img.Labels, st SolveStats)
 	// Workers selects the solver parallelism for entry points that can
 	// construct one sampler per worker (SolveAuto and the application
 	// drivers): 0 = GOMAXPROCS, 1 = the exact serial Solve behavior,
@@ -107,11 +153,33 @@ func prepare(p *Problem, sched Schedule, opts SolveOptions) (*img.Labels, *Table
 	return lab, tab, nil
 }
 
+// emitSweep computes the sweep's SolveStats (total energy included) and
+// invokes the hook. Called only when opts.OnSweep is non-nil, so runs that
+// do not observe sweeps pay nothing for the energy evaluation.
+func emitSweep(opts SolveOptions, tab *Tables, lab *img.Labels, k int, T float64, flips int, start time.Time) {
+	opts.OnSweep(k, lab, SolveStats{
+		Sweep:   k,
+		T:       T,
+		Energy:  tab.TotalEnergy(lab),
+		Flips:   flips,
+		Elapsed: time.Since(start),
+	})
+}
+
 // Solve runs simulated-annealing Gibbs sampling on the problem using the
 // given label sampler, returning the final labeling. The sampler's
 // SetTemperature is invoked at the start of every sweep, mirroring the
 // RSU-G's per-iteration LUT/boundary update.
 func Solve(p *Problem, sampler core.LabelSampler, sched Schedule, opts SolveOptions) (*img.Labels, error) {
+	return SolveCtx(context.Background(), p, sampler, sched, opts)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is checked
+// between sweeps (never mid-sweep, so a finished sweep is always a
+// consistent labeling), and on cancellation or deadline expiry the partial
+// labeling computed so far is returned together with ctx.Err(). A sampler
+// error likewise aborts the run with the partial labeling.
+func SolveCtx(ctx context.Context, p *Problem, sampler core.LabelSampler, sched Schedule, opts SolveOptions) (*img.Labels, error) {
 	if sampler == nil {
 		return nil, fmt.Errorf("mrf: nil sampler")
 	}
@@ -121,15 +189,31 @@ func Solve(p *Problem, sampler core.LabelSampler, sched Schedule, opts SolveOpti
 	}
 	energies := make([]float64, p.Labels)
 	for k := 0; k < sched.Iterations; k++ {
-		sampler.SetTemperature(sched.Temperature(k))
+		if err := ctx.Err(); err != nil {
+			return lab, err
+		}
+		start := time.Now()
+		T := sched.Temperature(k)
+		if err := sampler.SetTemperature(T); err != nil {
+			return lab, fmt.Errorf("mrf: sweep %d: %w", k, err)
+		}
+		flips := 0
 		for y := 0; y < p.H; y++ {
 			for x := 0; x < p.W; x++ {
 				tab.LabelEnergies(energies, lab, x, y)
-				lab.Set(x, y, sampler.Sample(energies, lab.At(x, y)))
+				cur := lab.At(x, y)
+				next, err := sampler.Sample(energies, cur)
+				if err != nil {
+					return lab, fmt.Errorf("mrf: sweep %d pixel (%d,%d): %w", k, x, y, err)
+				}
+				if next != cur {
+					lab.Set(x, y, next)
+					flips++
+				}
 			}
 		}
 		if opts.OnSweep != nil {
-			opts.OnSweep(k, lab)
+			emitSweep(opts, tab, lab, k, T, flips, start)
 		}
 	}
 	return lab, nil
@@ -140,10 +224,16 @@ func Solve(p *Problem, sampler core.LabelSampler, sched Schedule, opts SolveOpti
 // opts.Workers) and overrides sampler; otherwise the serial Solve runs with
 // the given sampler, preserving the app's original behavior exactly.
 func SolveWith(p *Problem, sampler core.LabelSampler, factory func(worker int) core.LabelSampler, sched Schedule, opts SolveOptions) (*img.Labels, error) {
+	return SolveWithCtx(context.Background(), p, sampler, factory, sched, opts)
+}
+
+// SolveWithCtx is SolveWith under a context; see SolveCtx for the
+// cancellation contract.
+func SolveWithCtx(ctx context.Context, p *Problem, sampler core.LabelSampler, factory func(worker int) core.LabelSampler, sched Schedule, opts SolveOptions) (*img.Labels, error) {
 	if factory != nil {
-		return SolveAuto(p, factory, sched, opts)
+		return SolveAutoCtx(ctx, p, factory, sched, opts)
 	}
-	return Solve(p, sampler, sched, opts)
+	return SolveCtx(ctx, p, sampler, sched, opts)
 }
 
 // SolveAuto dispatches between Solve and SolveParallel according to
@@ -152,16 +242,22 @@ func SolveWith(p *Problem, sampler core.LabelSampler, factory func(worker int) c
 // Workers = 1 reproduces Solve with factory(0) exactly; any other value
 // runs the checkerboard-parallel solver.
 func SolveAuto(p *Problem, factory func(worker int) core.LabelSampler, sched Schedule, opts SolveOptions) (*img.Labels, error) {
+	return SolveAutoCtx(context.Background(), p, factory, sched, opts)
+}
+
+// SolveAutoCtx is SolveAuto under a context; see SolveCtx for the
+// cancellation contract.
+func SolveAutoCtx(ctx context.Context, p *Problem, factory func(worker int) core.LabelSampler, sched Schedule, opts SolveOptions) (*img.Labels, error) {
 	if factory == nil {
 		return nil, fmt.Errorf("mrf: nil sampler factory")
 	}
 	workers := ResolveWorkers(opts.Workers)
 	if workers == 1 {
-		return Solve(p, factory(0), sched, opts)
+		return SolveCtx(ctx, p, factory(0), sched, opts)
 	}
 	samplers := make([]core.LabelSampler, workers)
 	for w := range samplers {
 		samplers[w] = factory(w)
 	}
-	return SolveParallel(p, samplers, sched, opts)
+	return SolveParallelCtx(ctx, p, samplers, sched, opts)
 }

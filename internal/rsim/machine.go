@@ -67,7 +67,9 @@ func NewMachine(cfg core.Config, spad ret.SPAD, src rng.Source) (*Machine, error
 		m.circuits = append(m.circuits, c)
 	}
 	m.acts = make([]int64, replicas)
-	m.SetTemperature(1)
+	if err := m.SetTemperature(1); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -79,12 +81,14 @@ func concentrations(max int) []float64 {
 	return cs
 }
 
-// SetTemperature rewrites the (double-buffered) boundary registers.
-func (m *Machine) SetTemperature(T float64) {
-	if T <= 0 {
-		panic("rsim: temperature must be positive")
+// SetTemperature rewrites the (double-buffered) boundary registers. A
+// non-positive or non-finite temperature is rejected with an error.
+func (m *Machine) SetTemperature(T float64) error {
+	if !(T > 0) || math.IsInf(T, 1) {
+		return fmt.Errorf("rsim: temperature must be positive and finite, got %v", T)
 	}
 	m.conv = core.NewBoundaryConverter(m.cfg, T)
+	return nil
 }
 
 // DeviceStats aggregates the four circuits' device-level counters.
@@ -109,10 +113,10 @@ func (m *Machine) Cycles() int64 { return m.cycle }
 // drive the RET circuits round-robin (one label per cycle, one circuit
 // activation per label), and select the earliest time bin. Ties break
 // randomly; if nothing fires the variable keeps its current label.
-func (m *Machine) Sample(energies []float64, current int) int {
+func (m *Machine) Sample(energies []float64, current int) (int, error) {
 	n := len(energies)
 	if n == 0 {
-		panic("rsim: Sample requires at least one label")
+		return current, fmt.Errorf("rsim: Sample requires at least one label")
 	}
 	if cap(m.effBuf) < n {
 		m.effBuf = make([]float64, n)
@@ -164,9 +168,9 @@ func (m *Machine) Sample(energies []float64, current int) int {
 		}
 	}
 	if best < 0 {
-		return current
+		return current, nil
 	}
-	return best
+	return best, nil
 }
 
 var _ core.LabelSampler = (*Machine)(nil)

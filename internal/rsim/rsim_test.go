@@ -136,15 +136,15 @@ func TestMachineMatchesFunctionalModelDistribution(t *testing.T) {
 		t.Fatal(err)
 	}
 	unit := core.MustUnit(cfg, rng.NewXoshiro256(2), false)
-	machine.SetTemperature(40)
-	unit.SetTemperature(40)
+	core.MustSetTemperature(machine, 40)
+	core.MustSetTemperature(unit, 40)
 	energies := []float64{5, 30, 60, 120}
 	const n = 60000
 	cm := make([]float64, 4)
 	cu := make([]float64, 4)
 	for i := 0; i < n; i++ {
-		cm[machine.Sample(energies, 0)]++
-		cu[unit.Sample(energies, 0)]++
+		cm[core.MustSample(machine, energies, 0)]++
+		cu[core.MustSample(unit, energies, 0)]++
 	}
 	for i := range cm {
 		dm, du := cm[i]/n, cu[i]/n

@@ -1,0 +1,129 @@
+// Package runopt holds the solver-runtime flags shared by the rsu-* command
+// line tools: wall-clock timeouts (context cancellation), CPU profiling, the
+// JSONL per-sweep run log, and the annealing temperature floor. Each binary
+// registers the flags it supports and applies them through one Runtime value,
+// so cancellation and observability behave identically across tools.
+package runopt
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"rsu/internal/img"
+	"rsu/internal/mrf"
+)
+
+// Flags are the shared runtime options. Zero values mean "off" / "default".
+type Flags struct {
+	// Timeout bounds the whole run; 0 means unbounded. On expiry the solver
+	// aborts between sweeps and the tool exits with the context error.
+	Timeout time.Duration
+	// Pprof, when non-empty, writes a CPU profile of the run to this file.
+	Pprof string
+	// RunLog, when non-empty, streams per-sweep SolveStats as JSON Lines
+	// ("-" = stdout).
+	RunLog string
+	// TFloor overrides the annealing temperature floor; 0 keeps
+	// mrf.DefaultTFloor.
+	TFloor float64
+}
+
+// Register installs the shared flags on fs (flag.CommandLine in the tools).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.DurationVar(&f.Timeout, "timeout", 0,
+		"abort the solve after this duration (e.g. 30s, 2m; 0 = no limit)")
+	fs.StringVar(&f.Pprof, "pprof", "",
+		"write a CPU profile to this file")
+	fs.StringVar(&f.RunLog, "runlog", "",
+		"stream per-sweep stats as JSON Lines to this file (\"-\" = stdout)")
+	fs.Float64Var(&f.TFloor, "tfloor", 0,
+		fmt.Sprintf("annealing temperature floor (0 = default %g)", mrf.DefaultTFloor))
+}
+
+// Apply threads the temperature-floor override into a schedule.
+func (f *Flags) Apply(s *mrf.Schedule) {
+	if f.TFloor > 0 {
+		s.TFloor = f.TFloor
+	}
+}
+
+// Runtime is the activated form of Flags: an open profile, an open run log,
+// and a deadline context. Always Close it (idempotent) so the profile and
+// log are flushed.
+type Runtime struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	log    *mrf.RunLog
+	files  []*os.File
+	prof   bool
+}
+
+// Start validates and activates the flags: it opens the profile and run-log
+// outputs and builds the deadline context. On error nothing is left open.
+func (f *Flags) Start() (*Runtime, error) {
+	r := &Runtime{}
+	if f.Pprof != "" {
+		pf, err := os.Create(f.Pprof)
+		if err != nil {
+			return nil, fmt.Errorf("runopt: -pprof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Close()
+			return nil, fmt.Errorf("runopt: -pprof: %w", err)
+		}
+		r.files = append(r.files, pf)
+		r.prof = true
+	}
+	if f.RunLog != "" {
+		if f.RunLog == "-" {
+			r.log = mrf.NewRunLog(os.Stdout)
+		} else {
+			lf, err := os.Create(f.RunLog)
+			if err != nil {
+				r.Close()
+				return nil, fmt.Errorf("runopt: -runlog: %w", err)
+			}
+			r.files = append(r.files, lf)
+			r.log = mrf.NewRunLog(lf)
+		}
+	}
+	if f.Timeout > 0 {
+		r.ctx, r.cancel = context.WithTimeout(context.Background(), f.Timeout)
+	} else {
+		r.ctx, r.cancel = context.WithCancel(context.Background())
+	}
+	return r, nil
+}
+
+// Context returns the run-bounding context (never nil after Start).
+func (r *Runtime) Context() context.Context { return r.ctx }
+
+// Hook wraps next with the run log when one is configured; with no -runlog
+// it returns next unchanged. run names the solve in the JSONL records.
+func (r *Runtime) Hook(run string, next func(iter int, lab *img.Labels, st mrf.SolveStats)) func(iter int, lab *img.Labels, st mrf.SolveStats) {
+	if r.log == nil {
+		return next
+	}
+	return r.log.Hook(run, next)
+}
+
+// Close stops profiling, cancels the context, and closes every file the
+// runtime opened. Safe to call more than once.
+func (r *Runtime) Close() {
+	if r.prof {
+		pprof.StopCPUProfile()
+		r.prof = false
+	}
+	if r.cancel != nil {
+		r.cancel()
+		r.cancel = nil
+	}
+	for _, f := range r.files {
+		f.Close()
+	}
+	r.files = nil
+}
