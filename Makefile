@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build test vet race race-runtime verify fuzz fuzz-smoke check bench perf
+# Fuzz budget per target; fuzz-smoke overrides it for CI (see below).
+FUZZTIME ?= 30s
+
+.PHONY: all build test vet race race-runtime verify fuzz fuzz-smoke check bench perf perf-check
 
 all: check
 
@@ -30,14 +33,14 @@ verify:
 	$(GO) run ./cmd/rsu-verify
 
 # Native Go fuzzing of the sampling pipeline and the lambda converter.
+# FUZZTIME sets the budget per target (default 30s above).
 fuzz:
-	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzUnitSample -fuzztime 30s
-	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzLambdaCode -fuzztime 30s
+	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzUnitSample -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzLambdaCode -fuzztime $(FUZZTIME)
 
-# Short-budget fuzz pass for CI.
+# Short-budget fuzz pass for CI — the same recipe, smaller budget.
 fuzz-smoke:
-	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzUnitSample -fuzztime 10s
-	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzLambdaCode -fuzztime 10s
+	$(MAKE) fuzz FUZZTIME=10s
 
 check: build vet test race verify
 
@@ -47,3 +50,10 @@ bench:
 # Before/after performance report (see DESIGN.md §7 for the schema).
 perf:
 	$(GO) run ./cmd/rsu-bench -perf BENCH_1.json
+
+# Perf-regression gate: re-run the micro suite and compare speedups against
+# the checked-in baseline with a 15% tolerance (DESIGN.md §10). Writes the
+# gate report CI uploads as an artifact. PERFCHECK_FLAGS lets the CI
+# self-test inject a slowdown (-perf-inject-slowdown 2) to prove the gate trips.
+perf-check:
+	$(GO) run ./cmd/rsu-bench -perf-check BENCH_1.json -perf-report perf-check-report.json $(PERFCHECK_FLAGS)

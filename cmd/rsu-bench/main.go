@@ -9,6 +9,7 @@
 //	rsu-bench -run all -out results/ | tee results/report.txt
 //	rsu-bench -run fig8 -iterscale 0.25   # quick pass
 //	rsu-bench -perf BENCH_1.json          # before/after performance report
+//	rsu-bench -perf-check BENCH_1.json    # regression gate vs the baseline
 package main
 
 import (
@@ -36,7 +37,7 @@ func runPerf(path string, workers int) error {
 	if err != nil {
 		return err
 	}
-	probe.Close()
+	_ = probe.Close()
 	if runtime.GOMAXPROCS(0) < 4 {
 		runtime.GOMAXPROCS(4)
 	}
@@ -53,6 +54,50 @@ func runPerf(path string, workers int) error {
 	return nil
 }
 
+// runPerfCheck re-runs the micro-benchmark suite and gates it against the
+// baseline report: the current speedups must stay within the tolerance band
+// of the baseline's (see benchkit.Compare for why speedups, not raw ns/op,
+// transfer across machines). A non-nil error means the gate tripped or the
+// inputs were unusable; the gate report is written to reportPath when set,
+// regardless of the verdict, so CI can upload it as an artifact either way.
+func runPerfCheck(baselinePath, reportPath string, tolerance, injectSlowdown float64, workers int) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseline benchkit.Report
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	current := benchkit.Run(workers)
+	if injectSlowdown > 1 {
+		fmt.Printf("self-test: injecting a %.2gx slowdown into the current report\n", injectSlowdown)
+		current = current.WithInjectedSlowdown(injectSlowdown)
+	}
+	gate, err := benchkit.Compare(baseline, current, benchkit.MicroSet(), tolerance)
+	if err != nil {
+		return err
+	}
+	fmt.Print(gate.String())
+	if reportPath != "" {
+		out, err := json.MarshalIndent(gate, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(reportPath, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", reportPath)
+	}
+	if gate.Regressed {
+		return fmt.Errorf("performance regression against %s (tolerance %.0f%%)", baselinePath, gate.Tolerance*100)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		run       = flag.String("run", "", "comma-separated experiment ids, or 'all'")
@@ -62,9 +107,21 @@ func main() {
 		iterScale = flag.Float64("iterscale", 1, "multiplier on annealing iterations (use <1 for a quick pass)")
 		out       = flag.String("out", "", "directory for PGM outputs of figure experiments")
 		perf      = flag.String("perf", "", "run the before/after performance suite and write the JSON report to this path")
+		perfCheck = flag.String("perf-check", "", "re-run the micro suite and gate it against this baseline BENCH_*.json (exit 1 on regression)")
+		perfRep   = flag.String("perf-report", "", "with -perf-check: write the gate report JSON to this path")
+		perfTol   = flag.Float64("perf-tolerance", 0, "with -perf-check: relative speedup tolerance (0 = default 15%)")
+		perfInj   = flag.Float64("perf-inject-slowdown", 1, "with -perf-check: self-test knob slowing the current after-side by this factor")
 		workers   = flag.Int("workers", 0, "design-point/solver workers: 0 = GOMAXPROCS, 1 = serial")
 	)
 	flag.Parse()
+
+	if *perfCheck != "" {
+		if err := runPerfCheck(*perfCheck, *perfRep, *perfTol, *perfInj, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "perf check failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *perf != "" {
 		if err := runPerf(*perf, *workers); err != nil {

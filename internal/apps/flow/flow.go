@@ -49,6 +49,12 @@ type Params struct {
 	// record (see mrf.SolveOptions.OnSweep for the retention contract). The
 	// pyramid solver invokes it per level.
 	OnSweep func(iter int, lab *img.Labels, st mrf.SolveStats)
+	// PairLUT, when non-nil, supplies a prebuilt pairwise smoothness LUT for
+	// Solve, shared across solves over the same search window and smoothness
+	// weights (see mrf.BuildTablesShared). The pyramid solver ignores it
+	// (its per-level problems differ). The serving layer's artifact cache
+	// populates this.
+	PairLUT *mrf.PairLUT
 }
 
 // ctx resolves the solve context.
@@ -115,11 +121,19 @@ type Result struct {
 // scores the result with the Middlebury average end-point error.
 func Solve(pair *synth.FlowPair, sampler core.LabelSampler, p Params) (*Result, error) {
 	prob := BuildProblem(pair, p)
-	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory, p.Schedule, mrf.SolveOptions{
+	opts := mrf.SolveOptions{
 		Init:    initialLabels(pair),
 		Workers: p.Workers,
 		OnSweep: p.OnSweep,
-	})
+	}
+	if p.PairLUT != nil {
+		tab, err := prob.BuildTablesShared(p.PairLUT)
+		if err != nil {
+			return nil, err
+		}
+		opts.Tables = tab
+	}
+	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory, p.Schedule, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -52,6 +52,10 @@ type Model struct {
 	// and SolveStats record (see mrf.SolveOptions.OnSweep for the retention
 	// contract) after the model's own measurement hook runs.
 	OnSweep func(iter int, lab *img.Labels, st mrf.SolveStats)
+	// PairLUT, when non-nil, supplies a prebuilt coupling LUT shared across
+	// runs with the same J (see mrf.BuildTablesShared). The serving layer's
+	// artifact cache populates this.
+	PairLUT *mrf.PairLUT
 }
 
 // DefaultModel returns a 32x32 lattice with J = 16, h = 0.
@@ -137,23 +141,30 @@ func (m Model) Run(s core.LabelSampler, T float64, burn, measure int, seed uint6
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	opts := mrf.SolveOptions{
+		Init:    init,
+		Workers: m.Workers,
+	}
+	if m.PairLUT != nil {
+		tab, err := prob.BuildTablesShared(m.PairLUT)
+		if err != nil {
+			return Observables{}, err
+		}
+		opts.Tables = tab
+	}
+	opts.OnSweep = func(iter int, lab *img.Labels, st mrf.SolveStats) {
+		if iter >= burn {
+			mag, e := m.measure(lab)
+			obs.Magnetization += mag
+			obs.Energy += e
+			count++
+		}
+		if m.OnSweep != nil {
+			m.OnSweep(iter, lab, st)
+		}
+	}
 	_, err := mrf.SolveWithCtx(ctx, prob, s, m.SamplerFactory,
-		mrf.Schedule{T0: T * m.J, Alpha: 1, Iterations: burn + measure},
-		mrf.SolveOptions{
-			Init:    init,
-			Workers: m.Workers,
-			OnSweep: func(iter int, lab *img.Labels, st mrf.SolveStats) {
-				if iter >= burn {
-					mag, e := m.measure(lab)
-					obs.Magnetization += mag
-					obs.Energy += e
-					count++
-				}
-				if m.OnSweep != nil {
-					m.OnSweep(iter, lab, st)
-				}
-			},
-		})
+		mrf.Schedule{T0: T * m.J, Alpha: 1, Iterations: burn + measure}, opts)
 	if err != nil {
 		return Observables{}, err
 	}

@@ -45,6 +45,11 @@ type Params struct {
 	// OnSweep, when non-nil, receives every sweep's labeling and SolveStats
 	// record (see mrf.SolveOptions.OnSweep for the retention contract).
 	OnSweep func(iter int, lab *img.Labels, st mrf.SolveStats)
+	// PairLUT, when non-nil, supplies a prebuilt Potts smoothness LUT shared
+	// across solves with the same segment count and smoothness weight (see
+	// mrf.BuildTablesShared). The serving layer's artifact cache populates
+	// this.
+	PairLUT *mrf.PairLUT
 }
 
 // ctx resolves the solve context.
@@ -162,9 +167,16 @@ func Solve(scene *synth.SegScene, sampler core.LabelSampler, p Params) (*Result,
 		}
 		init.L[i] = best
 	}
+	opts := mrf.SolveOptions{Init: init, Workers: p.Workers, OnSweep: p.OnSweep}
+	if p.PairLUT != nil {
+		tab, err := prob.BuildTablesShared(p.PairLUT)
+		if err != nil {
+			return nil, err
+		}
+		opts.Tables = tab
+	}
 	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory,
-		mrf.Schedule{T0: p.Temperature, Alpha: 1, Iterations: p.Iterations},
-		mrf.SolveOptions{Init: init, Workers: p.Workers, OnSweep: p.OnSweep})
+		mrf.Schedule{T0: p.Temperature, Alpha: 1, Iterations: p.Iterations}, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -46,6 +46,11 @@ type Params struct {
 	// OnSweep, when non-nil, receives every sweep's labeling and SolveStats
 	// record (see mrf.SolveOptions.OnSweep for the retention contract).
 	OnSweep func(iter int, lab *img.Labels, st mrf.SolveStats)
+	// PairLUT, when non-nil, supplies a prebuilt pairwise smoothness LUT
+	// shared across solves at the same design point (it must match the
+	// problem's label count and smoothness model — see mrf.BuildTablesShared).
+	// The serving layer's artifact cache populates this.
+	PairLUT *mrf.PairLUT
 }
 
 // ctx resolves the solve context.
@@ -116,8 +121,15 @@ const texturelessVarianceCutoff = 40
 // scores the result against ground truth using the paper's metrics.
 func Solve(pair *synth.StereoPair, sampler core.LabelSampler, p Params) (*Result, error) {
 	prob := BuildProblem(pair, p)
-	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory, p.Schedule,
-		mrf.SolveOptions{Workers: p.Workers, OnSweep: p.OnSweep})
+	opts := mrf.SolveOptions{Workers: p.Workers, OnSweep: p.OnSweep}
+	if p.PairLUT != nil {
+		tab, err := prob.BuildTablesShared(p.PairLUT)
+		if err != nil {
+			return nil, err
+		}
+		opts.Tables = tab
+	}
+	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory, p.Schedule, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,149 @@
+package benchkit
+
+import (
+	"fmt"
+	"math"
+)
+
+// GateSchema identifies the perf-regression gate report format.
+const GateSchema = "rsu-bench-perf-gate/v1"
+
+// DefaultTolerance is the relative slack the gate allows before declaring a
+// regression: the current speedup may fall up to 15% below the baseline's.
+// The bound is deliberately loose — the suite's best-of-three ns/op
+// measurements still wobble a few percent run-to-run on shared CI runners,
+// and 15% sits well above that noise floor while still catching any real
+// regression (an accidentally disabled fast path shows up as a ~2x drop).
+const DefaultTolerance = 0.15
+
+// MicroSet lists the benchmarks the gate compares: the single-threaded
+// micro-benchmarks whose before/after ratio is stable across machines. The
+// stereo-full-app pair is excluded — it exercises the parallel solver, so its
+// ratio depends on the runner's core count.
+func MicroSet() []string {
+	return []string{
+		"unit-sample-new8",
+		"unit-sample-new56",
+		"unit-sample-prev56",
+		"label-energies-stereo",
+		"schedule-temperature-500",
+	}
+}
+
+// Check is one benchmark's gate verdict. The gate compares speedups, not raw
+// ns/op: each report measures the frozen seed implementation ("before") and
+// the current implementation ("after") in the same process, so the ratio
+// cancels out machine speed — a baseline recorded on one machine transfers to
+// any CI runner. A regression in the optimized path lowers the current
+// speedup below the baseline's.
+type Check struct {
+	Name            string  `json:"name"`
+	BaselineSpeedup float64 `json:"baseline_speedup"`
+	CurrentSpeedup  float64 `json:"current_speedup"`
+	BaselineNsOp    float64 `json:"baseline_ns_op"` // after-side, for reference
+	CurrentNsOp     float64 `json:"current_ns_op"`  // after-side, for reference
+	// Ratio is current/baseline speedup; it must stay >= Limit = 1/(1+tol).
+	Ratio     float64 `json:"ratio"`
+	Limit     float64 `json:"limit"`
+	Regressed bool    `json:"regressed"`
+}
+
+// GateReport is the machine-readable artifact the CI perf job uploads.
+type GateReport struct {
+	Schema    string  `json:"schema"`
+	Tolerance float64 `json:"tolerance"`
+	Checks    []Check `json:"checks"`
+	Regressed bool    `json:"regressed"`
+}
+
+// Compare gates the named benchmarks of current against baseline with the
+// given relative tolerance (DefaultTolerance when <= 0). It returns an error
+// for malformed input — schema mismatch, a named benchmark missing from
+// either report, or non-positive measurements — and a report whose Regressed
+// flag is the gate verdict.
+func Compare(baseline, current Report, names []string, tolerance float64) (GateReport, error) {
+	if tolerance <= 0 {
+		tolerance = DefaultTolerance
+	}
+	rep := GateReport{Schema: GateSchema, Tolerance: tolerance}
+	if baseline.Schema != Schema {
+		return rep, fmt.Errorf("benchkit: baseline schema %q, want %q", baseline.Schema, Schema)
+	}
+	if current.Schema != Schema {
+		return rep, fmt.Errorf("benchkit: current schema %q, want %q", current.Schema, Schema)
+	}
+	index := func(r Report) map[string]Result {
+		m := make(map[string]Result, len(r.Benchmarks))
+		for _, b := range r.Benchmarks {
+			m[b.Name] = b
+		}
+		return m
+	}
+	base, cur := index(baseline), index(current)
+	limit := 1 / (1 + tolerance)
+	for _, name := range names {
+		b, ok := base[name]
+		if !ok {
+			return rep, fmt.Errorf("benchkit: baseline report has no benchmark %q", name)
+		}
+		c, ok := cur[name]
+		if !ok {
+			return rep, fmt.Errorf("benchkit: current report has no benchmark %q", name)
+		}
+		if !(b.Speedup > 0) || !(c.Speedup > 0) || math.IsInf(b.Speedup, 1) || math.IsInf(c.Speedup, 1) {
+			return rep, fmt.Errorf("benchkit: benchmark %q has unusable speedups (baseline %v, current %v)",
+				name, b.Speedup, c.Speedup)
+		}
+		ck := Check{
+			Name:            name,
+			BaselineSpeedup: b.Speedup,
+			CurrentSpeedup:  c.Speedup,
+			BaselineNsOp:    b.NsOpAfter,
+			CurrentNsOp:     c.NsOpAfter,
+			Ratio:           c.Speedup / b.Speedup,
+			Limit:           limit,
+		}
+		ck.Regressed = ck.Ratio < limit
+		rep.Checks = append(rep.Checks, ck)
+		if ck.Regressed {
+			rep.Regressed = true
+		}
+	}
+	return rep, nil
+}
+
+// String renders the gate report as an aligned table with a verdict line.
+func (g GateReport) String() string {
+	s := fmt.Sprintf("%s (tolerance %.0f%%)\n", g.Schema, g.Tolerance*100)
+	s += fmt.Sprintf("%-28s %9s %9s %7s %7s  %s\n",
+		"benchmark", "base", "current", "ratio", "limit", "verdict")
+	for _, c := range g.Checks {
+		verdict := "ok"
+		if c.Regressed {
+			verdict = "REGRESSED"
+		}
+		s += fmt.Sprintf("%-28s %8.2fx %8.2fx %7.3f %7.3f  %s\n",
+			c.Name, c.BaselineSpeedup, c.CurrentSpeedup, c.Ratio, c.Limit, verdict)
+	}
+	if g.Regressed {
+		s += "verdict: PERFORMANCE REGRESSION\n"
+	} else {
+		s += "verdict: ok\n"
+	}
+	return s
+}
+
+// WithInjectedSlowdown returns a copy of the report with every benchmark's
+// optimized ("after") side slowed by the given factor — the CI self-test
+// knob behind rsu-bench -perf-inject-slowdown, which proves the gate
+// actually trips on a regression instead of silently passing everything.
+func (r Report) WithInjectedSlowdown(factor float64) Report {
+	out := r
+	out.Benchmarks = make([]Result, len(r.Benchmarks))
+	for i, b := range r.Benchmarks {
+		b.NsOpAfter *= factor
+		b.Speedup = b.NsOpBefore / b.NsOpAfter
+		out.Benchmarks[i] = b
+	}
+	return out
+}

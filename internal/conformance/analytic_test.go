@@ -39,7 +39,7 @@ func TestExpectedOutcomeMatchesDirectTwoLabelSum(t *testing.T) {
 	T := 100.0
 	// Energies chosen to produce codes 8 and 2 (cf. core's distribution
 	// test): label B at e = T ln(8/2.5) converts to code 2.
-	eB := T * math.Log(8.0 / 2.5)
+	eB := T * math.Log(8.0/2.5)
 	codeA, codeB := 8, 2
 
 	binP := func(code, k int) float64 {

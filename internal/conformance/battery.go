@@ -63,7 +63,7 @@ func DefaultBattery() []DesignPoint {
 		{Name: "new-rsug-tie-first", Config: firstWins, T: 32, Energies: ev},
 		// Float energies into integer lambda codes (binned-codes kernel).
 		{Name: "float-energy-codes", T: 24, Energies: ev, Config: core.Config{
-			Name: "float-energy-codes",
+			Name:       "float-energy-codes",
 			LambdaBits: 4, Mode: core.ConvertScaledCutoff,
 			TimeBits: 5, Truncation: 0.05, Tie: core.TieRandom}},
 		// Float lambda, binned time (binned-float kernel).

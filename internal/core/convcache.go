@@ -1,0 +1,113 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+)
+
+// converterKey identifies one memoizable energy-to-lambda conversion table:
+// the full design point (Config is a comparable value type) plus the
+// realization and the annealing temperature the table was derived for.
+type converterKey struct {
+	cfg    Config
+	useLUT bool
+	T      float64
+}
+
+// ConverterCache memoizes energy-to-lambda converters (the previous design's
+// 256-entry LUT or the new design's boundary registers) per (design point,
+// realization, temperature). Converters are read-only after construction, so
+// one cached table can back any number of concurrent Units — the serving
+// layer's analogue of many RSU columns sharing one temperature-update bus.
+// Annealing schedules are deterministic, so every job at a given design
+// point replays the same temperature ladder and hits the same entries.
+//
+// The cache is a strict LRU and safe for concurrent use.
+type ConverterCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[converterKey]*list.Element
+	order    *list.List // front = most recently used
+	hits     uint64
+	misses   uint64
+}
+
+type converterEntry struct {
+	key  converterKey
+	conv Converter
+}
+
+// DefaultConverterCapacity comfortably holds a 500-sweep annealing ladder at
+// a couple of simultaneous design points.
+const DefaultConverterCapacity = 2048
+
+// NewConverterCache returns a cache bounded to capacity entries
+// (DefaultConverterCapacity when capacity <= 0).
+func NewConverterCache(capacity int) *ConverterCache {
+	if capacity <= 0 {
+		capacity = DefaultConverterCapacity
+	}
+	return &ConverterCache{
+		capacity: capacity,
+		entries:  make(map[converterKey]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Get returns the converter for (cfg, useLUT, T), building and caching it on
+// a miss. cfg must use quantized energies and integer lambda codes
+// (EnergyBits > 0 and LambdaBits > 0) — the only configurations that have a
+// conversion table at all.
+func (c *ConverterCache) Get(cfg Config, useLUT bool, T float64) Converter {
+	key := converterKey{cfg: cfg, useLUT: useLUT, T: T}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		conv := el.Value.(*converterEntry).conv
+		c.mu.Unlock()
+		return conv
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Build outside the lock: table construction is the expensive part and
+	// two racing builders produce identical read-only tables, so the worst
+	// case of dropping the lock is one redundant build.
+	var conv Converter
+	if useLUT {
+		conv = NewLUTConverter(cfg, T)
+	} else {
+		conv = NewBoundaryConverter(cfg, T)
+	}
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		// Racing builder won; keep its table so all units share storage.
+		c.order.MoveToFront(el)
+		conv = el.Value.(*converterEntry).conv
+	} else {
+		c.entries[key] = c.order.PushFront(&converterEntry{key: key, conv: conv})
+		for c.order.Len() > c.capacity {
+			back := c.order.Back()
+			delete(c.entries, back.Value.(*converterEntry).key)
+			c.order.Remove(back)
+		}
+	}
+	c.mu.Unlock()
+	return conv
+}
+
+// ConverterCacheStats is a point-in-time snapshot of the cache counters.
+type ConverterCacheStats struct {
+	Entries int
+	Hits    uint64
+	Misses  uint64
+}
+
+// Stats returns the current entry count and hit/miss counters.
+func (c *ConverterCache) Stats() ConverterCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ConverterCacheStats{Entries: c.order.Len(), Hits: c.hits, Misses: c.misses}
+}

@@ -28,13 +28,31 @@ func StreamFactory(seed uint64, build func(src rng.Source) LabelSampler) func(st
 // ("software" | "new" | "prev") to a constructor over an RNG source, ready
 // to hand to StreamFactory.
 func SamplerBuilder(kind string) (func(src rng.Source) LabelSampler, error) {
+	return CachedSamplerBuilder(kind, nil)
+}
+
+// CachedSamplerBuilder is SamplerBuilder with a shared ConverterCache
+// attached to the hardware units, so every worker of every job at the same
+// design point resolves its per-sweep conversion tables from one memo
+// instead of rebuilding them. A nil cache (or the "software" sampler, which
+// has no conversion stage) degrades to the plain builder.
+func CachedSamplerBuilder(kind string, cc *ConverterCache) (func(src rng.Source) LabelSampler, error) {
+	unit := func(cfg Config) func(src rng.Source) LabelSampler {
+		return func(src rng.Source) LabelSampler {
+			u := MustUnit(cfg, src, true)
+			if cc != nil {
+				u.SetConverterCache(cc)
+			}
+			return u
+		}
+	}
 	switch kind {
 	case "software":
 		return func(src rng.Source) LabelSampler { return NewSoftwareSampler(src) }, nil
 	case "new":
-		return func(src rng.Source) LabelSampler { return MustUnit(NewRSUG(), src, true) }, nil
+		return unit(NewRSUG()), nil
 	case "prev":
-		return func(src rng.Source) LabelSampler { return MustUnit(PrevRSUG(), src, true) }, nil
+		return unit(PrevRSUG()), nil
 	default:
 		return nil, fmt.Errorf("core: unknown sampler %q (want software | new | prev)", kind)
 	}

@@ -96,6 +96,11 @@ type Unit struct {
 	// active, letting the fast path index it directly instead of going
 	// through the Converter interface per label.
 	lutTable []int
+	// convCache, when non-nil, memoizes converter construction per
+	// (config, realization, temperature) so units at the same design point
+	// share read-only conversion tables instead of rebuilding them on every
+	// SetTemperature (see ConverterCache).
+	convCache *ConverterCache
 
 	// scratch buffers reused across Sample calls (Unit is single-threaded).
 	effBuf   []float64
@@ -169,7 +174,15 @@ func (u *Unit) SetTemperature(T float64) error {
 	}
 	u.T = T
 	if u.cfg.EnergyBits > 0 && u.cfg.LambdaBits > 0 {
-		if u.useLUT {
+		if u.convCache != nil {
+			conv := u.convCache.Get(u.cfg, u.useLUT, T)
+			u.conv = conv
+			if lut, ok := conv.(*LUTConverter); ok {
+				u.lutTable = lut.table
+			} else {
+				u.lutTable = nil
+			}
+		} else if u.useLUT {
 			lut := NewLUTConverter(u.cfg, T)
 			u.conv = lut
 			u.lutTable = lut.table
@@ -180,6 +193,12 @@ func (u *Unit) SetTemperature(T float64) error {
 	}
 	return nil
 }
+
+// SetConverterCache attaches (or, with nil, detaches) a shared converter
+// cache; subsequent SetTemperature calls resolve their conversion tables
+// through it. Cached tables are read-only, so one cache may serve any number
+// of units concurrently even though each Unit itself is single-threaded.
+func (u *Unit) SetConverterCache(cc *ConverterCache) { u.convCache = cc }
 
 // Temperature returns the current annealing temperature.
 func (u *Unit) Temperature() float64 { return u.T }

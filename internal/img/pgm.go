@@ -36,7 +36,7 @@ func SavePGM(path string, g *Gray) error {
 		return err
 	}
 	if err := WritePGM(f, g); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("img: writing %s: %w", path, err)
 	}
 	return f.Close()

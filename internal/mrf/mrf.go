@@ -143,17 +143,51 @@ type Tables struct {
 	Pair []float64
 }
 
-// BuildTables precomputes the lookup tables for p.
-func (p *Problem) BuildTables() *Tables {
-	t := &Tables{p: p, Singles: p.singletonTable(), Pair: make([]float64, p.Labels*p.Labels)}
+// PairLUT is the standalone pairwise (doubleton) lookup table of a Problem:
+// Pair[nb*Labels+l] is the smoothness energy of label l against neighbor
+// label nb with PairWeight and TruncateDist folded in — the Labels² half of
+// Tables that depends only on the smoothness model, not on the input image.
+// It is read-only after construction, so a serving layer can build it once
+// per (distance, weight, truncation, label-count) design point and share it
+// across every concurrent job at that point via BuildTablesShared.
+type PairLUT struct {
+	Labels int
+	Pair   []float64
+}
+
+// BuildPairLUT precomputes just the pairwise LUT of p, in the same entry
+// order as BuildTables (so shared and per-solve tables are bit-identical).
+func (p *Problem) BuildPairLUT() *PairLUT {
+	lut := &PairLUT{Labels: p.Labels, Pair: make([]float64, p.Labels*p.Labels)}
 	i := 0
 	for nb := 0; nb < p.Labels; nb++ {
 		for l := 0; l < p.Labels; l++ {
-			t.Pair[i] = p.PairWeight * p.pairDist(l, nb)
+			lut.Pair[i] = p.PairWeight * p.pairDist(l, nb)
 			i++
 		}
 	}
-	return t
+	return lut
+}
+
+// BuildTables precomputes the lookup tables for p.
+func (p *Problem) BuildTables() *Tables {
+	return &Tables{p: p, Singles: p.singletonTable(), Pair: p.BuildPairLUT().Pair}
+}
+
+// BuildTablesShared builds the tables for p reusing a prebuilt pairwise LUT,
+// recomputing only the input-dependent singleton table. The LUT must have
+// been built from a Problem with the same smoothness model (same Labels,
+// PairWeight, distance function and truncation) — the label count is checked
+// here, the semantic match is the caller's contract (the serving cache keys
+// LUTs by the full smoothness model for exactly this reason).
+func (p *Problem) BuildTablesShared(lut *PairLUT) (*Tables, error) {
+	if lut == nil {
+		return p.BuildTables(), nil
+	}
+	if lut.Labels != p.Labels || len(lut.Pair) != p.Labels*p.Labels {
+		return nil, fmt.Errorf("mrf: shared pair LUT built for %d labels, problem has %d", lut.Labels, p.Labels)
+	}
+	return &Tables{p: p, Singles: p.singletonTable(), Pair: lut.Pair}, nil
 }
 
 // pairRow returns the contiguous row of pairwise energies against neighbor

@@ -72,7 +72,7 @@ func (f *Flags) Start() (*Runtime, error) {
 			return nil, fmt.Errorf("runopt: -pprof: %w", err)
 		}
 		if err := pprof.StartCPUProfile(pf); err != nil {
-			pf.Close()
+			_ = pf.Close()
 			return nil, fmt.Errorf("runopt: -pprof: %w", err)
 		}
 		r.files = append(r.files, pf)
@@ -123,7 +123,7 @@ func (r *Runtime) Close() {
 		r.cancel = nil
 	}
 	for _, f := range r.files {
-		f.Close()
+		_ = f.Close()
 	}
 	r.files = nil
 }

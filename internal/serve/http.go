@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// errorBody is the JSON error envelope every non-200 response uses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Encoding failures at this point have nowhere useful to go; the
+	// connection error (if any) surfaces in the server's logs.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /jobs     submit a JobSpec, wait for the result (the request
+//	               context cancels the job; 429 + Retry-After on a full
+//	               queue, 503 while draining, 504 on job deadline expiry)
+//	GET  /metrics  Prometheus text exposition of counters, gauges, cache
+//	               hit rates and per-app latency histograms
+//	GET  /healthz  liveness (200 as long as the process serves)
+//	GET  /readyz   readiness (503 once draining)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte("draining\n"))
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ready\n"))
+	})
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job spec: " + err.Error()})
+		return
+	}
+
+	job, err := s.Submit(r.Context(), spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure: tell the client to come back once roughly one
+		// queued job's worth of time has passed.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	res, status, err := job.Wait(r.Context())
+	switch status {
+	case StatusOK:
+		writeJSON(w, http.StatusOK, res)
+	case StatusExpired:
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(s.metrics.Render(s.cache.Stats())))
+}

@@ -1,0 +1,86 @@
+package loadtest
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"rsu/internal/serve"
+)
+
+// TestAcceptanceMixedLoad is the PR's acceptance run: >= 64 concurrent
+// mixed-app jobs through a deliberately tight service (one worker, one queue
+// slot) so that backpressure demonstrably fires, with zero goroutine leaks
+// and a pair-LUT cache hit rate above 90%.
+func TestAcceptanceMixedLoad(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	svc := serve.New(serve.Config{Workers: 1, QueueCap: 1})
+
+	// Pin the single worker so the 16 clients contend for one queue slot —
+	// 429s are then guaranteed, not timing-dependent.
+	blockCtx, cancelBlock := context.WithCancel(context.Background())
+	if _, err := svc.Submit(blockCtx, serve.JobSpec{App: serve.AppIsing, N: 8, Measure: 1 << 30}); err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	waitBusy(t, svc)
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancelBlock()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	report := Run(ctx, svc, Options{
+		Jobs:        64,
+		Concurrency: 16,
+		Specs:       DefaultMix(2),
+		Retry429:    true,
+	})
+	t.Logf("\n%s", report)
+
+	if report.Completed != 64 {
+		t.Fatalf("completed = %d, want 64 (failed %d, expired %d, errors %v)",
+			report.Completed, report.Failed, report.Expired, report.Errors)
+	}
+	if report.Failed != 0 || report.Expired != 0 {
+		t.Fatalf("failed = %d, expired = %d; want 0/0 (errors %v)", report.Failed, report.Expired, report.Errors)
+	}
+	if report.Rejected == 0 {
+		t.Fatal("no 429 rejections observed; backpressure never fired")
+	}
+	// Four design points across 65 pair-LUT requests (64 jobs + blocker):
+	// at most 4 misses, so the hit rate must clear 90% with margin.
+	if rate := report.Cache.PairHitRate(); rate <= 0.90 {
+		t.Fatalf("pair-LUT cache hit rate = %.3f, want > 0.90 (hits %d, misses %d)",
+			rate, report.Cache.PairHits, report.Cache.PairMisses)
+	}
+	if report.Cache.PairMisses > 4 {
+		t.Fatalf("pair-LUT misses = %d, want <= 4 (one per design point)", report.Cache.PairMisses)
+	}
+
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shutCancel()
+	if err := svc.Shutdown(shutCtx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > baseline {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Fatalf("goroutines leaked: %d running, baseline %d", n, baseline)
+	}
+}
+
+func waitBusy(t *testing.T, svc *serve.Service) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if svc.Metrics().InFlight.Load() >= 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("blocker job never started")
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultLatencyBuckets are the histogram upper bounds in seconds,
+// log-spaced from 1ms to ~100s — per-sweep times land in the low buckets,
+// whole jobs in the middle ones.
+var defaultLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// histogram is a fixed-bucket latency histogram (cumulative on render, like
+// a Prometheus histogram). Safe for concurrent use.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // per-bucket, +1 overflow bucket
+	sum    float64
+	count  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{bounds: defaultLatencyBuckets, counts: make([]uint64, len(defaultLatencyBuckets)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(h.bounds, seconds)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += seconds
+	h.count++
+	h.mu.Unlock()
+}
+
+// snapshot returns cumulative bucket counts, the total sum and count.
+func (h *histogram) snapshot() (cum []uint64, sum float64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]uint64, len(h.counts))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		cum[i] = acc
+	}
+	return cum, h.sum, h.count
+}
+
+// Metrics aggregates the service's observability state: job counters,
+// queue/in-flight gauges, and per-app latency histograms for whole jobs and
+// for individual sweeps (fed from mrf.SolveStats.Elapsed).
+type Metrics struct {
+	Submitted atomic.Uint64 // accepted into the queue
+	Completed atomic.Uint64 // finished with a result
+	Failed    atomic.Uint64 // finished with an error
+	Rejected  atomic.Uint64 // refused with ErrQueueFull (HTTP 429)
+	Expired   atomic.Uint64 // deadline/cancellation before or during the solve
+
+	QueueDepth atomic.Int64
+	InFlight   atomic.Int64
+
+	mu        sync.Mutex
+	jobHist   map[string]*histogram // per app: whole-job latency
+	sweepHist map[string]*histogram // per app: per-sweep latency
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{jobHist: make(map[string]*histogram), sweepHist: make(map[string]*histogram)}
+}
+
+func (m *Metrics) hist(set map[string]*histogram, app string) *histogram {
+	m.mu.Lock()
+	h, ok := set[app]
+	if !ok {
+		h = newHistogram()
+		set[app] = h
+	}
+	m.mu.Unlock()
+	return h
+}
+
+// ObserveJob records one finished job's wall-clock latency.
+func (m *Metrics) ObserveJob(app string, seconds float64) {
+	m.hist(m.jobHist, app).observe(seconds)
+}
+
+// ObserveSweep records one solver sweep's duration.
+func (m *Metrics) ObserveSweep(app string, seconds float64) {
+	m.hist(m.sweepHist, app).observe(seconds)
+}
+
+// formatFloat renders a bucket bound the way Prometheus clients do.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func renderHistograms(b *strings.Builder, name string, set map[string]*histogram) {
+	apps := make([]string, 0, len(set))
+	for app := range set {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	for _, app := range apps {
+		cum, sum, count := set[app].snapshot()
+		for i, bound := range set[app].bounds {
+			fmt.Fprintf(b, "%s_bucket{app=%q,le=%q} %d\n", name, app, formatFloat(bound), cum[i])
+		}
+		fmt.Fprintf(b, "%s_bucket{app=%q,le=\"+Inf\"} %d\n", name, app, cum[len(cum)-1])
+		fmt.Fprintf(b, "%s_sum{app=%q} %s\n", name, app, formatFloat(sum))
+		fmt.Fprintf(b, "%s_count{app=%q} %d\n", name, app, count)
+	}
+}
+
+// Render writes the metrics in the Prometheus text exposition format,
+// including the cache counters, so GET /metrics works with any standard
+// scraper (and remains human-readable with curl).
+func (m *Metrics) Render(cache CacheStats) string {
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("rsu_serve_jobs_submitted_total", "jobs accepted into the queue", m.Submitted.Load())
+	counter("rsu_serve_jobs_completed_total", "jobs finished with a result", m.Completed.Load())
+	counter("rsu_serve_jobs_failed_total", "jobs finished with an error", m.Failed.Load())
+	counter("rsu_serve_jobs_rejected_total", "jobs refused by backpressure (429)", m.Rejected.Load())
+	counter("rsu_serve_jobs_expired_total", "jobs cancelled or past deadline", m.Expired.Load())
+	gauge("rsu_serve_queue_depth", "jobs waiting in the queue", m.QueueDepth.Load())
+	gauge("rsu_serve_jobs_in_flight", "jobs currently solving", m.InFlight.Load())
+
+	counter("rsu_serve_cache_pair_hits_total", "pairwise-LUT cache hits", cache.PairHits)
+	counter("rsu_serve_cache_pair_misses_total", "pairwise-LUT cache misses", cache.PairMisses)
+	gauge("rsu_serve_cache_pair_entries", "pairwise-LUT cache entries", int64(cache.PairEntries))
+	counter("rsu_serve_cache_dataset_hits_total", "dataset cache hits", cache.DatasetHits)
+	counter("rsu_serve_cache_dataset_misses_total", "dataset cache misses", cache.DatasetMisses)
+	gauge("rsu_serve_cache_dataset_entries", "dataset cache entries", int64(cache.DatasetEntries))
+	counter("rsu_serve_cache_conv_hits_total", "lambda-conversion table cache hits", cache.ConvHits)
+	counter("rsu_serve_cache_conv_misses_total", "lambda-conversion table cache misses", cache.ConvMisses)
+	gauge("rsu_serve_cache_conv_entries", "lambda-conversion table cache entries", int64(cache.ConvEntries))
+
+	// Copy the histogram maps under the lock (histogram values are
+	// internally synchronized; only the maps themselves need guarding).
+	m.mu.Lock()
+	jobs := make(map[string]*histogram, len(m.jobHist))
+	for k, v := range m.jobHist {
+		jobs[k] = v
+	}
+	sweeps := make(map[string]*histogram, len(m.sweepHist))
+	for k, v := range m.sweepHist {
+		sweeps[k] = v
+	}
+	m.mu.Unlock()
+	renderHistograms(&b, "rsu_serve_job_seconds", jobs)
+	renderHistograms(&b, "rsu_serve_sweep_seconds", sweeps)
+	return b.String()
+}

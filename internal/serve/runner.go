@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rsu/internal/apps/flow"
+	"rsu/internal/apps/ising"
+	"rsu/internal/apps/segment"
+	"rsu/internal/apps/stereo"
+	"rsu/internal/core"
+	"rsu/internal/img"
+	"rsu/internal/mrf"
+	"rsu/internal/synth"
+)
+
+// JobResult is the outcome of one inference job, the JSON body of a
+// successful POST /jobs response.
+type JobResult struct {
+	ID      string `json:"id"`
+	App     string `json:"app"`
+	Dataset string `json:"dataset,omitempty"`
+	Sampler string `json:"sampler"`
+	// Metrics holds the app's quality scores: stereo bp/rms, flow epe,
+	// segment the four BISIP scores, ising magnetization/energy.
+	Metrics map[string]float64 `json:"metrics"`
+	// PairLUTHit reports whether the job's pairwise smoothness LUT came out
+	// of the shared-artifact cache.
+	PairLUTHit bool `json:"pair_lut_hit"`
+	// DatasetHit reports whether the input scene came out of the cache.
+	DatasetHit bool `json:"dataset_hit"`
+	// QueueNS and RunNS break the job's latency into queue wait and solve
+	// time, in nanoseconds.
+	QueueNS int64 `json:"queue_ns"`
+	RunNS   int64 `json:"run_ns"`
+	// Sweeps is the number of solver sweeps observed.
+	Sweeps int `json:"sweeps"`
+	// RunLog holds the per-sweep JSONL records when the spec asked for
+	// capture_log.
+	RunLog []string `json:"run_log,omitempty"`
+}
+
+// buildDataset resolves (building and caching) the synthetic input scene.
+// The key folds in every spec field the scene depends on.
+func buildDataset(cache *ArtifactCache, s JobSpec) (any, bool, error) {
+	switch s.App {
+	case AppStereo:
+		var build func(int) *synth.StereoPair
+		switch s.Dataset {
+		case "teddy":
+			build = synth.Teddy
+		case "poster":
+			build = synth.Poster
+		case "art":
+			build = synth.Art
+		default:
+			return nil, false, fmt.Errorf("serve: unknown stereo dataset %q (want teddy | poster | art)", s.Dataset)
+		}
+		key := fmt.Sprintf("stereo/%s/%d", s.Dataset, s.Scale)
+		return cache.dataset(key, func() (any, error) { return build(s.Scale), nil })
+	case AppFlow:
+		var build func(int) *synth.FlowPair
+		switch s.Dataset {
+		case "venus":
+			build = synth.Venus
+		case "rubberwhale":
+			build = synth.RubberWhale
+		case "dimetrodon":
+			build = synth.Dimetrodon
+		default:
+			return nil, false, fmt.Errorf("serve: unknown flow dataset %q (want venus | rubberwhale | dimetrodon)", s.Dataset)
+		}
+		key := fmt.Sprintf("flow/%s/%d", s.Dataset, s.Scale)
+		return cache.dataset(key, func() (any, error) { return build(s.Scale), nil })
+	case AppSegment:
+		idx, err := bsdIndex(s.Dataset)
+		if err != nil {
+			return nil, false, err
+		}
+		key := fmt.Sprintf("segment/%s/%d/%d", s.Dataset, s.Segments, s.Scale)
+		return cache.dataset(key, func() (any, error) { return synth.BSDLike(idx, s.Segments, s.Scale), nil })
+	default:
+		return nil, false, nil // ising needs no dataset
+	}
+}
+
+// bsdIndex parses the segment dataset name bsd00 .. bsd29.
+func bsdIndex(name string) (int, error) {
+	if n, ok := strings.CutPrefix(name, "bsd"); ok {
+		if i, err := strconv.Atoi(n); err == nil && i >= 0 && i < 30 {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown segment dataset %q (want bsd00 .. bsd29)", name)
+}
+
+// runJob executes one job on the calling worker goroutine: resolve the
+// dataset and pairwise LUT from the artifact cache, build the per-stream
+// samplers with the shared conversion-table cache attached, and drive the
+// app's solver under the job context. The context bounds the whole solve
+// (mrf.SolveWithCtx checks it between sweeps).
+func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, metrics *Metrics, solverWorkers int) (*JobResult, error) {
+	s := spec.withDefaults()
+	res := &JobResult{
+		ID: id, App: s.App, Dataset: s.Dataset, Sampler: s.Sampler,
+		Metrics: make(map[string]float64),
+	}
+	if s.App == AppIsing {
+		res.Dataset = ""
+	}
+
+	build, err := core.CachedSamplerBuilder(s.Sampler, cache.Converter())
+	if err != nil {
+		return nil, err
+	}
+	factory := core.StreamFactory(s.Seed, build)
+	workers := s.Workers
+	if workers <= 0 {
+		workers = solverWorkers
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+
+	ds, dsHit, err := buildDataset(cache, s)
+	if err != nil {
+		return nil, err
+	}
+	res.DatasetHit = dsHit
+
+	// Per-job run-log capture plus the sweep-latency histogram feed. The
+	// solver's OnSweep contract delivers a reused labeling buffer; neither
+	// consumer retains it.
+	var logBuf bytes.Buffer
+	var runlog *mrf.RunLog
+	if s.CaptureLog {
+		runlog = mrf.NewRunLog(&logBuf)
+	}
+	sweeps := 0
+	onSweep := func(iter int, lab *img.Labels, st mrf.SolveStats) {
+		sweeps++
+		metrics.ObserveSweep(s.App, st.Elapsed.Seconds())
+	}
+	if runlog != nil {
+		onSweep = runlog.Hook(id, onSweep)
+	}
+
+	switch s.App {
+	case AppStereo:
+		pair := ds.(*synth.StereoPair)
+		p := stereo.DefaultParams()
+		if s.Iterations > 0 {
+			p.Schedule.Iterations = s.Iterations
+		}
+		p.SamplerFactory, p.Workers, p.Ctx, p.OnSweep = factory, workers, ctx, onSweep
+		prob := stereo.BuildProblem(pair, p)
+		key := fmt.Sprintf("stereo/L%d/w%g/c%g", prob.Labels, p.SmoothWeight, p.SmoothCap)
+		p.PairLUT, res.PairLUTHit, err = cache.pairLUT(key, prob)
+		if err != nil {
+			return nil, err
+		}
+		r, err := stereo.Solve(pair, nil, p)
+		if err != nil {
+			return nil, err
+		}
+		res.Metrics["bp"] = r.BP
+		res.Metrics["rms"] = r.RMS
+	case AppFlow:
+		pair := ds.(*synth.FlowPair)
+		p := flow.DefaultParams()
+		if s.Iterations > 0 {
+			p.Schedule.Iterations = s.Iterations
+		}
+		p.SamplerFactory, p.Workers, p.Ctx, p.OnSweep = factory, workers, ctx, onSweep
+		prob := flow.BuildProblem(pair, p)
+		key := fmt.Sprintf("flow/r%d/w%g/c%g", pair.Radius, p.SmoothWeight, p.SmoothCap)
+		p.PairLUT, res.PairLUTHit, err = cache.pairLUT(key, prob)
+		if err != nil {
+			return nil, err
+		}
+		r, err := flow.Solve(pair, nil, p)
+		if err != nil {
+			return nil, err
+		}
+		res.Metrics["epe"] = r.EPE
+	case AppSegment:
+		scene := ds.(*synth.SegScene)
+		p := segment.DefaultParams()
+		if s.Iterations > 0 {
+			p.Iterations = s.Iterations
+		}
+		p.SamplerFactory, p.Workers, p.Ctx, p.OnSweep = factory, workers, ctx, onSweep
+		// The Potts LUT depends only on the segment count and smoothness
+		// weight; dummy means of the right length give the same table.
+		prob := segment.BuildProblem(scene.Image, make([]float64, scene.Segments), p)
+		key := fmt.Sprintf("segment/L%d/w%g", scene.Segments, p.SmoothWeight)
+		p.PairLUT, res.PairLUTHit, err = cache.pairLUT(key, prob)
+		if err != nil {
+			return nil, err
+		}
+		r, err := segment.Solve(scene, nil, p)
+		if err != nil {
+			return nil, err
+		}
+		res.Metrics["voi"] = r.Scores.VoI
+		res.Metrics["pri"] = r.Scores.PRI
+		res.Metrics["gce"] = r.Scores.GCE
+		res.Metrics["bde"] = r.Scores.BDE
+	case AppIsing:
+		m := ising.DefaultModel()
+		m.N = s.N
+		m.SamplerFactory, m.Workers, m.Ctx, m.OnSweep = factory, workers, ctx, onSweep
+		prob := m.Problem()
+		key := fmt.Sprintf("ising/J%g/H%g", m.J, m.H)
+		m.PairLUT, res.PairLUTHit, err = cache.pairLUT(key, prob)
+		if err != nil {
+			return nil, err
+		}
+		obs, err := m.Run(nil, s.T, s.Burn, s.Measure, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Metrics["magnetization"] = obs.Magnetization
+		res.Metrics["energy"] = obs.Energy
+	}
+
+	res.Sweeps = sweeps
+	if runlog != nil {
+		lines := strings.Split(strings.TrimRight(logBuf.String(), "\n"), "\n")
+		if len(lines) == 1 && lines[0] == "" {
+			lines = nil
+		}
+		res.RunLog = lines
+	}
+	return res, nil
+}
