@@ -3,7 +3,7 @@ GO ?= go
 # Fuzz budget per target; fuzz-smoke overrides it for CI (see below).
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet race race-runtime verify fuzz fuzz-smoke check bench perf perf-check
+.PHONY: all build test vet race race-runtime verify fuzz fuzz-smoke check bench bench-once perf perf-check profile
 
 all: check
 
@@ -47,13 +47,23 @@ check: build vet test race verify
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Single-iteration pass over every micro-benchmark — the CI smoke that keeps
+# bench code compiling and running without paying for real measurements.
+bench-once:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x -benchmem .
+
 # Before/after performance report (see DESIGN.md §7 for the schema).
 perf:
-	$(GO) run ./cmd/rsu-bench -perf BENCH_1.json
+	$(GO) run ./cmd/rsu-bench -perf BENCH_2.json
 
 # Perf-regression gate: re-run the micro suite and compare speedups against
 # the checked-in baseline with a 15% tolerance (DESIGN.md §10). Writes the
 # gate report CI uploads as an artifact. PERFCHECK_FLAGS lets the CI
 # self-test inject a slowdown (-perf-inject-slowdown 2) to prove the gate trips.
 perf-check:
-	$(GO) run ./cmd/rsu-bench -perf-check BENCH_1.json -perf-report perf-check-report.json $(PERFCHECK_FLAGS)
+	$(GO) run ./cmd/rsu-bench -perf-check BENCH_2.json -perf-report perf-check-report.json $(PERFCHECK_FLAGS)
+
+# CPU + heap profiles of the performance suite (DESIGN.md §11); inspect with
+# `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/rsu-bench -perf /tmp/bench-profile.json -cpuprofile cpu.pprof -memprofile mem.pprof

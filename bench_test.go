@@ -77,6 +77,7 @@ func benchUnitSample(b *testing.B, cfg core.Config, labels int, legacy bool) {
 	for i := range energies {
 		energies[i] = float64(i * 200 / labels)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u.Sample(energies, 0)
@@ -106,6 +107,7 @@ func benchLabelEnergies(b *testing.B, tables bool) {
 		lab.L[i] = i % prob.Labels
 	}
 	dst := make([]float64, prob.Labels)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		x, y := i%prob.W, (i/prob.W)%prob.H
@@ -120,6 +122,66 @@ func benchLabelEnergies(b *testing.B, tables bool) {
 func BenchmarkLabelEnergiesTables(b *testing.B) { benchLabelEnergies(b, true) }
 func BenchmarkLabelEnergiesDirect(b *testing.B) { benchLabelEnergies(b, false) }
 
+// BenchmarkLabelEnergiesRow times the fused row gather the serial sweep
+// uses: one op fills a whole W×Labels block (compare against W iterations
+// of BenchmarkLabelEnergiesTables).
+func BenchmarkLabelEnergiesRow(b *testing.B) {
+	prob := stereo.BuildProblem(synth.Poster(1), stereo.DefaultParams())
+	tab := prob.BuildTables()
+	lab := img.NewLabels(prob.W, prob.H)
+	for i := range lab.L {
+		lab.L[i] = i % prob.Labels
+	}
+	block := make([]float64, prob.W*prob.Labels)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.LabelEnergiesRow(block, lab, i%prob.H)
+	}
+}
+
+// BenchmarkSampleBatch times the fused batched draw: one op draws a whole
+// 96-pixel same-color segment through Unit.SampleBatch.
+func BenchmarkSampleBatch(b *testing.B) {
+	const seg, labels = 96, 8
+	u := core.MustUnit(core.NewRSUG(), rng.NewXoshiro256(1), true)
+	u.SetTemperature(20)
+	block := make([]float64, seg*labels)
+	for i := range block {
+		block[i] = float64((i % labels) * 200 / labels)
+	}
+	currents := make([]int, seg)
+	out := make([]int, seg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := u.SampleBatch(block, labels, currents, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlipDelta times the incremental-energy building block the
+// fused sweeps charge per accepted flip.
+func BenchmarkFlipDelta(b *testing.B) {
+	prob := stereo.BuildProblem(synth.Poster(1), stereo.DefaultParams())
+	tab := prob.BuildTables()
+	lab := img.NewLabels(prob.W, prob.H)
+	for i := range lab.L {
+		lab.L[i] = i % prob.Labels
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		idx := (i * 37) % (prob.W * prob.H)
+		x, y := idx%prob.W, idx/prob.W
+		cur := lab.At(x, y)
+		sink += tab.FlipDelta(lab, x, y, cur, (cur+1)%prob.Labels)
+	}
+	_ = sink
+}
+
 func BenchmarkSoftwareSample56(b *testing.B) {
 	s := core.NewSoftwareSampler(rng.NewXoshiro256(1))
 	s.SetTemperature(20)
@@ -127,6 +189,7 @@ func BenchmarkSoftwareSample56(b *testing.B) {
 	for i := range energies {
 		energies[i] = float64(i * 4)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Sample(energies, 0)
@@ -140,6 +203,7 @@ func BenchmarkMachineSample8(b *testing.B) {
 	}
 	m.SetTemperature(20)
 	energies := []float64{0, 25, 50, 75, 100, 125, 150, 175}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Sample(energies, 0)
@@ -157,6 +221,7 @@ func BenchmarkBarkerSample56(b *testing.B) {
 		energies[i] = float64(i * 4)
 	}
 	state := 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		state = core.MustSample(s, energies, state)
@@ -169,6 +234,7 @@ func BenchmarkPhaseCascade8(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Sample()
@@ -176,6 +242,7 @@ func BenchmarkPhaseCascade8(b *testing.B) {
 }
 
 func BenchmarkLUTRebuild(b *testing.B) {
+	b.ReportAllocs()
 	cfg := core.NewRSUG()
 	for i := 0; i < b.N; i++ {
 		core.NewLUTConverter(cfg, 1+float64(i%50))
@@ -183,6 +250,7 @@ func BenchmarkLUTRebuild(b *testing.B) {
 }
 
 func BenchmarkBoundaryRebuild(b *testing.B) {
+	b.ReportAllocs()
 	cfg := core.NewRSUG()
 	for i := 0; i < b.N; i++ {
 		core.NewBoundaryConverter(cfg, 1+float64(i%50))
@@ -194,6 +262,7 @@ func BenchmarkGibbsSweepStereo(b *testing.B) {
 	p := stereo.DefaultParams()
 	p.Schedule = mrf.Schedule{T0: 32, Alpha: 0.99, Iterations: 1}
 	u := core.MustUnit(core.NewRSUG(), rng.NewXoshiro256(1), true)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := stereo.Solve(pair, u, p); err != nil {
@@ -212,6 +281,7 @@ func BenchmarkGibbsSweepStereoParallel(b *testing.B) {
 	p.SamplerFactory = core.StreamFactory(1, func(src rng.Source) core.LabelSampler {
 		return core.MustUnit(core.NewRSUG(), src, true)
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := stereo.Solve(pair, nil, p); err != nil {
@@ -221,6 +291,7 @@ func BenchmarkGibbsSweepStereoParallel(b *testing.B) {
 }
 
 func BenchmarkPerfModel(b *testing.B) {
+	b.ReportAllocs()
 	m := perf.DefaultModel()
 	for i := 0; i < b.N; i++ {
 		m.TableII()
@@ -228,6 +299,7 @@ func BenchmarkPerfModel(b *testing.B) {
 }
 
 func BenchmarkXoshiro(b *testing.B) {
+	b.ReportAllocs()
 	src := rng.NewXoshiro256(1)
 	for i := 0; i < b.N; i++ {
 		src.Uint64()
@@ -235,6 +307,7 @@ func BenchmarkXoshiro(b *testing.B) {
 }
 
 func BenchmarkMT19937(b *testing.B) {
+	b.ReportAllocs()
 	src := rng.NewMT19937(1)
 	for i := 0; i < b.N; i++ {
 		src.Uint32()
@@ -242,6 +315,7 @@ func BenchmarkMT19937(b *testing.B) {
 }
 
 func BenchmarkLFSR19Bit(b *testing.B) {
+	b.ReportAllocs()
 	src := rng.NewLFSR19(1)
 	for i := 0; i < b.N; i++ {
 		src.NextBit()
@@ -249,6 +323,7 @@ func BenchmarkLFSR19Bit(b *testing.B) {
 }
 
 func BenchmarkExponentialDraw(b *testing.B) {
+	b.ReportAllocs()
 	src := rng.NewXoshiro256(1)
 	for i := 0; i < b.N; i++ {
 		rng.Exponential(src, 4)

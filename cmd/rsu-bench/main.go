@@ -18,12 +18,52 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"rsu/internal/benchkit"
 	"rsu/internal/experiments"
 )
+
+// startProfiles activates the optional pprof outputs, mirroring
+// internal/runopt's wiring: the CPU profile covers the whole invocation and
+// the heap profile is written at exit (after a GC, so it shows retained
+// memory rather than garbage). The returned stop function flushes both and
+// must run before the process exits — which is why main defers it inside
+// realMain instead of calling os.Exit directly.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			_ = cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			}
+			_ = f.Close()
+		}
+	}, nil
+}
 
 // runPerf executes the before/after performance suite and writes the
 // machine-readable report. The suite compares the seed implementation
@@ -99,36 +139,51 @@ func runPerfCheck(baselinePath, reportPath string, tolerance, injectSlowdown flo
 }
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the exit code back to main so deferred cleanup — the
+// pprof flush in particular — runs before the process exits.
+func realMain() int {
 	var (
-		run       = flag.String("run", "", "comma-separated experiment ids, or 'all'")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		seed      = flag.Uint64("seed", 1, "master random seed")
-		scale     = flag.Int("scale", 1, "synthetic dataset scale factor")
-		iterScale = flag.Float64("iterscale", 1, "multiplier on annealing iterations (use <1 for a quick pass)")
-		out       = flag.String("out", "", "directory for PGM outputs of figure experiments")
-		perf      = flag.String("perf", "", "run the before/after performance suite and write the JSON report to this path")
-		perfCheck = flag.String("perf-check", "", "re-run the micro suite and gate it against this baseline BENCH_*.json (exit 1 on regression)")
-		perfRep   = flag.String("perf-report", "", "with -perf-check: write the gate report JSON to this path")
-		perfTol   = flag.Float64("perf-tolerance", 0, "with -perf-check: relative speedup tolerance (0 = default 15%)")
-		perfInj   = flag.Float64("perf-inject-slowdown", 1, "with -perf-check: self-test knob slowing the current after-side by this factor")
-		workers   = flag.Int("workers", 0, "design-point/solver workers: 0 = GOMAXPROCS, 1 = serial")
+		run        = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		seed       = flag.Uint64("seed", 1, "master random seed")
+		scale      = flag.Int("scale", 1, "synthetic dataset scale factor")
+		iterScale  = flag.Float64("iterscale", 1, "multiplier on annealing iterations (use <1 for a quick pass)")
+		out        = flag.String("out", "", "directory for PGM outputs of figure experiments")
+		perf       = flag.String("perf", "", "run the before/after performance suite and write the JSON report to this path")
+		perfCheck  = flag.String("perf-check", "", "re-run the micro suite and gate it against this baseline BENCH_*.json (exit 1 on regression)")
+		perfRep    = flag.String("perf-report", "", "with -perf-check: write the gate report JSON to this path")
+		perfTol    = flag.Float64("perf-tolerance", 0, "with -perf-check: relative speedup tolerance (0 = default 15%)")
+		perfInj    = flag.Float64("perf-inject-slowdown", 1, "with -perf-check: self-test knob slowing the current after-side by this factor")
+		workers    = flag.Int("workers", 0, "design-point/solver workers: 0 = GOMAXPROCS, 1 = serial")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer stopProfiles()
 
 	if *perfCheck != "" {
 		if err := runPerfCheck(*perfCheck, *perfRep, *perfTol, *perfInj, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "perf check failed: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *perf != "" {
 		if err := runPerf(*perf, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "perf suite failed: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *list || *run == "" {
@@ -139,7 +194,7 @@ func main() {
 		if *run == "" && !*list {
 			fmt.Println("\nselect with -run <id>[,<id>...] or -run all")
 		}
-		return
+		return 0
 	}
 
 	opts := experiments.Options{
@@ -181,6 +236,7 @@ func main() {
 		fmt.Printf("-- %s done in %.1fs\n\n", r.ID, time.Since(start).Seconds())
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

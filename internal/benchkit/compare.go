@@ -26,6 +26,9 @@ func MicroSet() []string {
 		"unit-sample-new56",
 		"unit-sample-prev56",
 		"label-energies-stereo",
+		"sweep-row-kernel",
+		"sample-batch",
+		"energy-incremental",
 		"schedule-temperature-500",
 	}
 }

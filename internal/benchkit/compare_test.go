@@ -125,6 +125,9 @@ func TestMicroSetMatchesSuite(t *testing.T) {
 		{Name: "unit-sample-new56", NsOpBefore: 2, NsOpAfter: 1, Speedup: 2},
 		{Name: "unit-sample-prev56", NsOpBefore: 2, NsOpAfter: 1, Speedup: 2},
 		{Name: "label-energies-stereo", NsOpBefore: 2, NsOpAfter: 1, Speedup: 2},
+		{Name: "sweep-row-kernel", NsOpBefore: 2, NsOpAfter: 1, Speedup: 2},
+		{Name: "sample-batch", NsOpBefore: 2, NsOpAfter: 1, Speedup: 2},
+		{Name: "energy-incremental", NsOpBefore: 2, NsOpAfter: 1, Speedup: 2},
 		{Name: "schedule-temperature-500", NsOpBefore: 2, NsOpAfter: 1, Speedup: 2},
 		{Name: "stereo-full-app", NsOpBefore: 2, NsOpAfter: 1, Speedup: 2},
 	}

@@ -201,16 +201,38 @@ func RunBattery(points []DesignPoint, o BatteryOptions) (*BatteryReport, error) 
 			m := len(energies)
 			obsFast := make([]float64, m+1) // cell m = kept current label
 			obsLegacy := make([]float64, m+1)
-			for s := 0; s < o.Samples; s++ {
-				fs, err := fast.Sample(energies, -1)
-				if err != nil {
+			// The fast unit draws through SampleBatch — the entry point the
+			// fused solvers use — so the battery's conformance verdict covers
+			// the batched path. Each chunk replicates the energy vector into a
+			// dense block with every current label -1; per the batch contract
+			// the RNG stream is consumed exactly as per-call Sample would.
+			const chunk = 256
+			block := make([]float64, chunk*m)
+			for i := 0; i < chunk; i++ {
+				copy(block[i*m:(i+1)*m], energies)
+			}
+			currents := make([]int, chunk)
+			for i := range currents {
+				currents[i] = -1
+			}
+			out := make([]int, chunk)
+			for s := 0; s < o.Samples; s += chunk {
+				n := chunk
+				if rem := o.Samples - s; rem < n {
+					n = rem
+				}
+				if err := fast.SampleBatch(block[:n*m], m, currents[:n], out[:n]); err != nil {
 					return nil, fmt.Errorf("conformance: point %q energies %d: %w", pt.Name, ei, err)
 				}
+				for _, fs := range out[:n] {
+					obsFast[cell(fs, m)]++
+				}
+			}
+			for s := 0; s < o.Samples; s++ {
 				ls, err := legacy.Sample(energies, -1)
 				if err != nil {
 					return nil, fmt.Errorf("conformance: point %q energies %d: %w", pt.Name, ei, err)
 				}
-				obsFast[cell(fs, m)]++
 				obsLegacy[cell(ls, m)]++
 			}
 			for _, k := range []struct {

@@ -64,8 +64,13 @@ type Stats struct {
 // Unit is the RSU-G functional simulator. It is not safe for concurrent use;
 // create one Unit (with its own rng.Source) per worker.
 type Unit struct {
-	cfg    Config
-	src    rng.Source
+	cfg Config
+	src rng.Source
+	// srcX is src's concrete type when it is the default xoshiro generator.
+	// The hottest sampling loop uses it to devirtualize the per-draw Uint64
+	// calls (direct, inlinable method calls instead of interface dispatch);
+	// it draws the exact same values in the exact same order as src.
+	srcX   *rng.Xoshiro256
 	useLUT bool
 	conv   Converter
 	T      float64
@@ -122,6 +127,7 @@ func NewUnit(cfg Config, src rng.Source, useLUT bool) (*Unit, error) {
 		return nil, fmt.Errorf("core: nil rng source")
 	}
 	u := &Unit{cfg: cfg, src: src, useLUT: useLUT, lambda0: cfg.Lambda0(), tmax: cfg.TimeBins()}
+	u.srcX, _ = src.(*rng.Xoshiro256)
 	if cfg.EnergyBits > 0 {
 		u.equant = quant.Quantizer{Bits: cfg.EnergyBits, Min: 0, Max: cfg.EnergyMax}
 		u.estep = u.equant.Step()
@@ -130,6 +136,16 @@ func NewUnit(cfg Config, src rng.Source, useLUT bool) (*Unit, error) {
 	}
 	if err := u.SetTemperature(1); err != nil {
 		return nil, err
+	}
+	if cfg.LambdaBits > 0 && cfg.TimeBits > 0 {
+		// Pre-build the survival/guide tables for every decay-rate code the
+		// converter can emit (they depend only on lambda0 and the window, not
+		// on temperature), so the binned draw hot path never takes the
+		// lazy-growth branch in survival. Descending order grows the cache
+		// slices exactly once.
+		for c := cfg.MaxLambdaCode(); c >= 1; c-- {
+			u.survival(c)
+		}
 	}
 	return u, nil
 }
@@ -264,14 +280,17 @@ func (u *Unit) SampleTTFBounded(code int) (bin int, fired bool) {
 // label, mirroring hardware where no SPAD pulse arrives. An empty energy
 // vector is rejected with an error.
 func (u *Unit) Sample(energies []float64, current int) (int, error) {
-	m := len(energies)
-	if m == 0 {
+	if len(energies) == 0 {
 		return current, fmt.Errorf("core: Sample requires at least one label")
 	}
-	u.stats.Evaluations++
-	u.stats.LabelEvals += m
+	u.ensureScratch(len(energies))
+	return u.sampleOne(energies, current), nil
+}
 
-	// Stage 1: energy quantization.
+// ensureScratch sizes the per-label scratch buffers. Sample calls it per
+// draw; SampleBatch hoists it to one call per segment, so steady-state
+// batched sweeps never allocate.
+func (u *Unit) ensureScratch(m int) {
 	if cap(u.effBuf) < m {
 		u.effBuf = make([]float64, m)
 		u.codeBuf = make([]int, m)
@@ -279,11 +298,25 @@ func (u *Unit) Sample(energies []float64, current int) (int, error) {
 		u.rateBuf = make([]float64, m)
 		u.binBuf = make([]int, m)
 	}
+}
+
+// sampleOne is the pipeline body shared by Sample and SampleBatch. The
+// scratch buffers must already cover len(energies) (ensureScratch). The RNG
+// draw sequence is the conformance-pinned order: one TTF draw per
+// positive-rate label in label order, then any tie-break draws inside the
+// selection stage — every kernel below preserves it.
+func (u *Unit) sampleOne(energies []float64, current int) int {
+	m := len(energies)
+	u.stats.Evaluations++
+	u.stats.LabelEvals += m
+
 	if !u.legacy && u.cfg.EnergyBits > 0 && u.cfg.LambdaBits > 0 {
 		// Fully quantized pipeline: stages 1-2 stay in integer energy codes,
 		// skipping the code -> float -> code round-trip of the reference path.
-		return u.sampleQuantized(energies, current), nil
+		return u.sampleQuantized(energies, current)
 	}
+
+	// Stage 1: energy quantization.
 	eff := u.effBuf[:m]
 	if u.cfg.EnergyBits > 0 {
 		for i, e := range energies {
@@ -310,13 +343,13 @@ func (u *Unit) Sample(energies []float64, current int) (int, error) {
 	// Float-lambda, continuous-time reference path: exact competing
 	// exponentials, equivalent to categorical sampling with p ∝ e^(-E'/T).
 	if u.cfg.LambdaBits <= 0 && u.cfg.TimeBits <= 0 {
-		return u.sampleContinuousFloat(eff, current), nil
+		return u.sampleContinuousFloat(eff, current)
 	}
 
 	// Float lambda, binned time: rates relative to lambda_0 with the
 	// maximum (E' = 0) mapping to the full-scale rate.
 	if u.cfg.LambdaBits <= 0 {
-		return u.sampleBinnedFloat(eff, current), nil
+		return u.sampleBinnedFloat(eff, current)
 	}
 
 	// Stage 2b: energy-to-lambda conversion.
@@ -324,7 +357,7 @@ func (u *Unit) Sample(energies []float64, current int) (int, error) {
 	for i, e := range eff {
 		var c int
 		if u.cfg.EnergyBits > 0 {
-			c = u.conv.Code(int(math.Round(e / u.estep)))
+			c = u.conv.Code(quant.RoundPos(e / u.estep))
 		} else {
 			c = u.cfg.lambdaCodeFloat(e, u.T)
 		}
@@ -342,9 +375,23 @@ func (u *Unit) Sample(energies []float64, current int) (int, error) {
 		for i, c := range codes {
 			rates[i] = float64(c)
 		}
-		return u.sampleContinuousRates(rates, current), nil
+		return u.sampleContinuousRates(rates, current)
 	}
-	return u.sampleBinnedCodes(codes, current), nil
+	return u.sampleBinnedCodes(codes, current)
+}
+
+// encodeEnergy is the inlined Quantizer.Encode with the scale hoisted out of
+// the caller's loop. The quantizer's Min is 0, so the arithmetic matches
+// Encode bit for bit; `e > 0` being false also covers NaN, which Encode maps
+// to code 0.
+func encodeEnergy(e, scale, emax float64, maxCode int) int {
+	if e > 0 {
+		if e >= emax {
+			return maxCode
+		}
+		return quant.RoundPos(e * scale)
+	}
+	return 0
 }
 
 // sampleQuantized is the integer fast path for EnergyBits > 0 and
@@ -354,64 +401,166 @@ func (u *Unit) Sample(energies []float64, current int) (int, error) {
 // re-rounds — an exact round-trip (the difference of two code multiples of
 // the quantizer step re-rounds to the code difference), so the emitted
 // decay-rate codes are identical.
+//
+// The stages are fused into the fewest passes the data dependences allow:
+// decay-rate scaling needs the global minimum energy code before any
+// conversion (one encode+min pass), after which conversion and the TTF draw
+// fuse into a single pass; without scaling the whole encode→convert→draw
+// chain is one pass. TTF draws still happen in label order and the selection
+// stage still runs after every draw, so the RNG stream is bit-identical to
+// the unfused pipeline (tie-break draws must follow all bin draws).
 func (u *Unit) sampleQuantized(energies []float64, current int) int {
 	m := len(energies)
-	ecodes := u.ecodeBuf[:m]
-	// Inlined Quantizer.Encode with the scale hoisted out of the loop. The
-	// quantizer's Min is 0, so the arithmetic matches Encode bit for bit;
-	// `e > 0` being false also covers NaN, which Encode maps to code 0.
 	scale, emax, maxCode := u.escale, u.cfg.EnergyMax, u.emaxCode
-	for i, e := range energies {
-		var ec int
-		if e > 0 {
-			if e >= emax {
-				ec = maxCode
+	lt := u.lutTable
+	binned := u.cfg.TimeBits > 0
+
+	if !u.cfg.scalesEnergy() {
+		// No scaling: encode, convert and draw in one fused pass. The
+		// LUT-vs-converter dispatch is hoisted out of the per-label loops so
+		// the hot LUT variant indexes the table with no branch per label.
+		if binned {
+			bins := u.binBuf[:m]
+			if lt != nil {
+				for i, e := range energies {
+					c := lt[encodeEnergy(e, scale, emax, maxCode)]
+					if c == 0 {
+						u.stats.Cutoffs++
+						bins[i] = 0
+						continue
+					}
+					bins[i] = u.drawBinCode(c)
+				}
 			} else {
-				ec = int(math.Round(e * scale))
+				for i, e := range energies {
+					c := u.conv.Code(encodeEnergy(e, scale, emax, maxCode))
+					if c == 0 {
+						u.stats.Cutoffs++
+						bins[i] = 0
+						continue
+					}
+					bins[i] = u.drawBinCode(c)
+				}
 			}
+			return u.selectBin(bins, current)
 		}
-		ecodes[i] = ec
-	}
-	if u.cfg.scalesEnergy() {
-		min := ecodes[0]
-		for _, c := range ecodes[1:] {
-			if c < min {
-				min = c
-			}
-		}
-		for i := range ecodes {
-			ecodes[i] -= min
-		}
-	}
-	codes := u.codeBuf[:m]
-	if lt := u.lutTable; lt != nil {
-		// Direct LUT indexing: Encode keeps codes in [0, len(lt)-1] and the
-		// min-subtraction only lowers them, so no clamp or interface call is
-		// needed per label.
-		for i, ec := range ecodes {
-			c := lt[ec]
-			if c == 0 {
-				u.stats.Cutoffs++
-			}
-			codes[i] = c
-		}
-	} else {
-		for i, ec := range ecodes {
-			c := u.conv.Code(ec)
-			if c == 0 {
-				u.stats.Cutoffs++
-			}
-			codes[i] = c
-		}
-	}
-	if u.cfg.TimeBits <= 0 {
 		rates := u.rateBuf[:m]
-		for i, c := range codes {
-			rates[i] = float64(c)
+		if lt != nil {
+			for i, e := range energies {
+				c := lt[encodeEnergy(e, scale, emax, maxCode)]
+				if c == 0 {
+					u.stats.Cutoffs++
+				}
+				rates[i] = float64(c)
+			}
+		} else {
+			for i, e := range energies {
+				c := u.conv.Code(encodeEnergy(e, scale, emax, maxCode))
+				if c == 0 {
+					u.stats.Cutoffs++
+				}
+				rates[i] = float64(c)
+			}
 		}
 		return u.sampleContinuousRates(rates, current)
 	}
-	return u.sampleBinnedCodes(codes, current)
+
+	// Scaling pass: encode every label and track the minimum code.
+	ecodes := u.ecodeBuf[:m]
+	min := maxCode
+	for i, e := range energies {
+		ec := encodeEnergy(e, scale, emax, maxCode)
+		ecodes[i] = ec
+		if ec < min {
+			min = ec
+		}
+	}
+
+	// Fused convert+draw pass over the scaled codes. Direct LUT indexing
+	// is safe: Encode keeps codes in [0, len(lt)-1] and the min-subtraction
+	// only lowers them, so no clamp or interface call is needed per label.
+	if binned {
+		bins := u.binBuf[:m]
+		if lt != nil && u.srcX != nil {
+			// Fully specialized stereo hot path: LUT conversion plus the
+			// binned draw inlined with a devirtualized xoshiro source. The
+			// draw body replicates drawBinCode statement for statement
+			// (same uniform construction, same guided scan), so the RNG
+			// stream and the emitted bins are bit-identical; codes outside
+			// the pre-built survival cache fall back to drawBinCode.
+			x := u.srcX
+			surv, guide := u.surv, u.guide
+			for i, ec := range ecodes {
+				c := lt[ec-min]
+				if c == 0 {
+					u.stats.Cutoffs++
+					bins[i] = 0
+					continue
+				}
+				if c >= len(surv) || surv[c] == nil {
+					bins[i] = u.drawBinCode(c)
+					continue
+				}
+				s, g := surv[c], guide[c]
+				var v float64
+				for {
+					v = float64(x.Uint64()>>11) / (1 << 53)
+					if v > 0 {
+						break
+					}
+				}
+				b := int(g[int(v*(1<<guideBits))])
+				for b < len(s) && v < s[b] {
+					b++
+				}
+				if b == len(s) {
+					u.stats.Truncated++
+					b = 0
+				}
+				bins[i] = b
+			}
+		} else if lt != nil {
+			for i, ec := range ecodes {
+				c := lt[ec-min]
+				if c == 0 {
+					u.stats.Cutoffs++
+					bins[i] = 0
+					continue
+				}
+				bins[i] = u.drawBinCode(c)
+			}
+		} else {
+			for i, ec := range ecodes {
+				c := u.conv.Code(ec - min)
+				if c == 0 {
+					u.stats.Cutoffs++
+					bins[i] = 0
+					continue
+				}
+				bins[i] = u.drawBinCode(c)
+			}
+		}
+		return u.selectBin(bins, current)
+	}
+	rates := u.rateBuf[:m]
+	if lt != nil {
+		for i, ec := range ecodes {
+			c := lt[ec-min]
+			if c == 0 {
+				u.stats.Cutoffs++
+			}
+			rates[i] = float64(c)
+		}
+	} else {
+		for i, ec := range ecodes {
+			c := u.conv.Code(ec - min)
+			if c == 0 {
+				u.stats.Cutoffs++
+			}
+			rates[i] = float64(c)
+		}
+	}
+	return u.sampleContinuousRates(rates, current)
 }
 
 func (u *Unit) sampleContinuousFloat(eff []float64, current int) int {
@@ -586,8 +735,17 @@ func (u *Unit) survival(code int) []float64 {
 // the first bin the uniform's slot can reach; the scan then advances at
 // most a slot's width of survival values.
 func (u *Unit) drawBinCode(code int) int {
-	s := u.survival(code)
-	g := u.guide[code]
+	// NewUnit pre-builds every code a converter can emit, so the direct
+	// lookup hits except for out-of-range codes fed in by tests or future
+	// realizations — those fall back to the lazily-growing builder.
+	var s []float64
+	var g []uint32
+	if uint(code) < uint(len(u.surv)) && u.surv[code] != nil {
+		s, g = u.surv[code], u.guide[code]
+	} else {
+		s = u.survival(code)
+		g = u.guide[code]
+	}
 	v := rng.Float64Open(u.src)
 	b := int(g[int(v*(1<<guideBits))])
 	for b <= u.tmax && v < s[b] {
@@ -607,21 +765,46 @@ func (u *Unit) selectBin(bins []int, current int) int {
 	bestBin := math.MaxInt
 	tied := 1
 	sawTie := false
-	for i, b := range bins {
-		if b == 0 {
-			continue
-		}
-		switch {
-		case b < bestBin:
-			bestBin = b
-			best = i
-			tied = 1
-		case b == bestBin:
-			sawTie = true
-			if u.cfg.Tie == TieRandom {
+	if u.cfg.Tie == TieRandom && u.srcX != nil {
+		// Devirtualized variant of the loop below: reservoir tie-breaks are
+		// frequent early in an annealing schedule (coarse bins collide), so
+		// the tie draw inlines rng.Intn's widening-multiply construction on
+		// the concrete xoshiro source — same draw, same stream.
+		x := u.srcX
+		for i, b := range bins {
+			if b == 0 {
+				continue
+			}
+			switch {
+			case b < bestBin:
+				bestBin = b
+				best = i
+				tied = 1
+			case b == bestBin:
+				sawTie = true
 				tied++
-				if rng.Intn(u.src, tied) == 0 {
+				if int((x.Uint64()>>33)*uint64(tied)>>31) == 0 {
 					best = i
+				}
+			}
+		}
+	} else {
+		for i, b := range bins {
+			if b == 0 {
+				continue
+			}
+			switch {
+			case b < bestBin:
+				bestBin = b
+				best = i
+				tied = 1
+			case b == bestBin:
+				sawTie = true
+				if u.cfg.Tie == TieRandom {
+					tied++
+					if rng.Intn(u.src, tied) == 0 {
+						best = i
+					}
 				}
 			}
 		}

@@ -226,6 +226,128 @@ func (t *Tables) LabelEnergies(dst []float64, lab *img.Labels, x, y int) {
 	}
 }
 
+// LabelEnergiesSeg fills dst with the candidate-label energies of the n
+// pixels (x0, y), (x0+step, y), ..., (x0+(n-1)*step, y) as a dense n×Labels
+// block: slot i (dst[i*Labels:(i+1)*Labels]) holds pixel x0+i*step. The
+// fused sweep engine gathers one whole row (step 1, serial solver) or one
+// same-color row segment (step 2, checkerboard solver) per call, hoisting
+// the row bases and boundary tests that LabelEnergies re-derives per pixel.
+// Each slot accumulates in exactly LabelEnergies' term order — singles,
+// left, right, up, down — so the block is bit-identical to per-pixel calls.
+func (t *Tables) LabelEnergiesSeg(dst []float64, lab *img.Labels, y, x0, step, n int) {
+	p := t.p
+	L := p.Labels
+	row := y * p.W
+	labs := lab.L
+	if y > 0 && y+1 < p.H {
+		// Interior row: every pixel off the vertical edges has all four
+		// neighbors, so the five accumulation passes fuse into one —
+		// d[l] = s[l]+left[l]+right[l]+up[l]+down[l] evaluates left to
+		// right, the exact order (and therefore the exact bits) of the
+		// per-direction addRow sequence, with one store per slot instead
+		// of one copy plus four read-modify-write passes.
+		up, down := row-p.W, row+p.W
+		for i, x := 0, x0; i < n; i, x = i+1, x+step {
+			d := dst[i*L : i*L+L]
+			if x == 0 || x+1 == p.W {
+				t.LabelEnergies(d, lab, x, y)
+				continue
+			}
+			base := (row + x) * L
+			// Reslicing every operand to len(d) lets the compiler drop the
+			// per-iteration bounds checks inside the fused loop.
+			s := t.Singles[base : base+L][:len(d)]
+			r1 := t.pairRow(labs[row+x-1])[:len(d)]
+			r2 := t.pairRow(labs[row+x+1])[:len(d)]
+			r3 := t.pairRow(labs[up+x])[:len(d)]
+			r4 := t.pairRow(labs[down+x])[:len(d)]
+			for l := range d {
+				d[l] = s[l] + r1[l] + r2[l] + r3[l] + r4[l]
+			}
+		}
+		return
+	}
+	if step == 1 {
+		base := (row + x0) * L
+		copy(dst[:n*L], t.Singles[base:base+n*L])
+	} else {
+		for i, x := 0, x0; i < n; i, x = i+1, x+step {
+			base := (row + x) * L
+			copy(dst[i*L:i*L+L], t.Singles[base:base+L])
+		}
+	}
+	// Only the first slot can sit on the left edge and only the last on the
+	// right edge (x strictly increases), so the boundary branches hoist out.
+	first := 0
+	if x0 == 0 {
+		first = 1
+	}
+	for i, x := first, x0+first*step; i < n; i, x = i+1, x+step {
+		addRow(dst[i*L:i*L+L], t.pairRow(labs[row+x-1]))
+	}
+	last := n
+	if x0+(n-1)*step == p.W-1 {
+		last = n - 1
+	}
+	for i, x := 0, x0; i < last; i, x = i+1, x+step {
+		addRow(dst[i*L:i*L+L], t.pairRow(labs[row+x+1]))
+	}
+	if y > 0 {
+		up := row - p.W
+		for i, x := 0, x0; i < n; i, x = i+1, x+step {
+			addRow(dst[i*L:i*L+L], t.pairRow(labs[up+x]))
+		}
+	}
+	if y+1 < p.H {
+		down := row + p.W
+		for i, x := 0, x0; i < n; i, x = i+1, x+step {
+			addRow(dst[i*L:i*L+L], t.pairRow(labs[down+x]))
+		}
+	}
+}
+
+// LabelEnergiesRow fills dst (length W×Labels) with the candidate-label
+// energies of every pixel in row y — the serial fused sweep's gather.
+func (t *Tables) LabelEnergiesRow(dst []float64, lab *img.Labels, y int) {
+	t.LabelEnergiesSeg(dst, lab, y, 0, 1, t.p.W)
+}
+
+// FlipDelta returns the change in total MRF energy from relabeling pixel
+// (x, y) from `from` to `to`, with every neighbor keeping its current label:
+// the singleton difference plus one pairwise difference per incident edge.
+// Each edge's terms index Pair exactly as TotalEnergy does — edges where
+// (x, y) is the right/bottom endpoint use Pair[flipped*L+nb], edges where it
+// is the left/top endpoint use Pair[nb*L+flipped] — so no symmetry of the
+// distance function is assumed. The caller may invoke it before or after
+// writing the flip (only the neighbors are read). Maintaining the running
+// energy as init + Σ FlipDelta makes per-sweep observability O(flips)
+// instead of a full O(W·H·deg) TotalEnergy recomputation.
+func (t *Tables) FlipDelta(lab *img.Labels, x, y, from, to int) float64 {
+	p := t.p
+	L := p.Labels
+	row := y * p.W
+	labs := lab.L
+	base := (row + x) * L
+	d := t.Singles[base+to] - t.Singles[base+from]
+	if x > 0 {
+		nb := labs[row+x-1]
+		d += t.Pair[to*L+nb] - t.Pair[from*L+nb]
+	}
+	if x+1 < p.W {
+		nb := labs[row+x+1]
+		d += t.Pair[nb*L+to] - t.Pair[nb*L+from]
+	}
+	if y > 0 {
+		nb := labs[row-p.W+x]
+		d += t.Pair[to*L+nb] - t.Pair[from*L+nb]
+	}
+	if y+1 < p.H {
+		nb := labs[row+p.W+x]
+		d += t.Pair[nb*L+to] - t.Pair[nb*L+from]
+	}
+	return d
+}
+
 // LabelEnergies fills dst with the energy of every candidate label at pixel
 // (x, y) under the current labeling — the quantity the RSU-G energy stage
 // computes (Eq. 1). Exposed for tests and the cycle-level simulator; the

@@ -3,6 +3,7 @@ package mrf
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -41,63 +42,127 @@ func shardCells(cells []int32, workers int) [][]int32 {
 	return shards
 }
 
-// solverPool is the persistent checkerboard worker pool: one long-lived
-// goroutine per sampler, phase-barrier synchronized. The previous
-// implementation spawned 2×workers fresh goroutines every sweep; the pool
-// starts each goroutine once, parks it on an unbuffered command channel,
-// and drives it through the color phases of every sweep. RNG consumption
-// order is unchanged — worker w still processes exactly shards[color][w]
-// in order with samplers[w] — so results are bit-identical to the
-// per-sweep-spawn solver for a fixed seed set and worker count.
+// solverPool is the persistent checkerboard worker pool, phase-barrier
+// synchronized. Logical workers — one sampler (RNG stream) and one shard
+// per color each — fix the solver's output; a smaller set of long-lived
+// executor goroutines runs them. Executor 0 is the goroutine driving
+// sweep() itself, executors 1..E-1 park on unbuffered command channels.
+// Each executor processes its contiguous block of logical workers
+// sequentially, so for a fixed seed set and worker count the labeling is
+// bit-identical at every executor count (shards are disjoint within a
+// color phase), while machines with fewer cores than workers avoid the
+// scheduler churn of oversubscribed OS threads.
 type solverPool struct {
 	p        *Problem
 	tab      *Tables
 	lab      *img.Labels
-	samplers []core.LabelSampler
+	samplers []core.BatchSampler // AsBatch-wrapped; fused for Unit/Software
 	shards   [2][][]int32
+	track    bool // maintain the energy delta per sweep (OnSweep is set)
+	nexec    int  // executor goroutines (including the sweep() goroutine)
 
-	cmds  []chan int // per-worker phase commands (a checkerboard color)
-	phase sync.WaitGroup
-	exit  sync.WaitGroup
-	errs  []error // per-worker first error; index = worker, owner = worker
-	flips []int   // per-worker flip counts for the current sweep
+	cmds   []chan int // phase commands for executors 1..E-1 (a checkerboard color)
+	phase  sync.WaitGroup
+	exit   sync.WaitGroup
+	errs   []error   // per-worker first error; index = worker, owner = worker
+	flips  []int     // per-worker flip counts for the current sweep
+	edelta []float64 // per-worker energy deltas for the current sweep
+
+	// Executor 0 runs inline on the goroutine driving sweep() — parking it
+	// at the phase barrier while another thread is woken to do the work
+	// would be pure scheduler churn. These are its scratch buffers.
+	energies0 []float64
+	currents0 []int
+	out0      []int
 }
 
-// newSolverPool starts the worker goroutines.
-func newSolverPool(p *Problem, tab *Tables, lab *img.Labels, samplers []core.LabelSampler, shards [2][][]int32) *solverPool {
+// newSolverPool starts the executor goroutines (beyond executor 0, which is
+// the caller of sweep()).
+func newSolverPool(p *Problem, tab *Tables, lab *img.Labels, samplers []core.LabelSampler, shards [2][][]int32, track bool, nexec int) *solverPool {
 	workers := len(samplers)
-	pool := &solverPool{
-		p: p, tab: tab, lab: lab, samplers: samplers, shards: shards,
-		cmds:  make([]chan int, workers),
-		errs:  make([]error, workers),
-		flips: make([]int, workers),
+	batched := make([]core.BatchSampler, workers)
+	for w, s := range samplers {
+		batched[w] = core.AsBatch(s)
 	}
-	for w := range pool.cmds {
-		pool.cmds[w] = make(chan int)
+	segCap := (p.W + 1) / 2
+	pool := &solverPool{
+		p: p, tab: tab, lab: lab, samplers: batched, shards: shards, track: track,
+		nexec:     nexec,
+		cmds:      make([]chan int, nexec-1),
+		errs:      make([]error, workers),
+		flips:     make([]int, workers),
+		edelta:    make([]float64, workers),
+		energies0: make([]float64, segCap*p.Labels),
+		currents0: make([]int, segCap),
+		out0:      make([]int, segCap),
+	}
+	for i := range pool.cmds {
+		pool.cmds[i] = make(chan int)
 		pool.exit.Add(1)
-		go pool.run(w)
+		go pool.run(i + 1)
 	}
 	return pool
 }
 
-// run is one worker's loop: park on the command channel, process the
-// commanded color phase over this worker's shard, signal the phase barrier,
-// repeat until the channel closes.
-func (pool *solverPool) run(w int) {
+// resolveExecutors maps the SolveOptions.Executors knob onto a concrete
+// executor count for the given logical worker count: <= 0 means
+// min(workers, NumCPU, GOMAXPROCS), and any request is clamped to
+// [1, workers].
+func resolveExecutors(requested, workers int) int {
+	e := requested
+	if e <= 0 {
+		e = runtime.NumCPU()
+		if g := runtime.GOMAXPROCS(0); g < e {
+			e = g
+		}
+	}
+	if e > workers {
+		e = workers
+	}
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
+// run is one executor's loop: park on the command channel, process the
+// commanded color phase over this executor's block of logical workers,
+// signal the phase barrier, repeat until the channel closes. The scratch
+// buffers — sized for the longest possible same-color row segment — are
+// allocated once here and reused for every segment of every sweep, so
+// steady-state sweeps allocate nothing.
+func (pool *solverPool) run(e int) {
 	defer pool.exit.Done()
-	energies := make([]float64, pool.p.Labels)
-	for color := range pool.cmds[w] {
-		pool.shard(w, color, energies)
+	segCap := (pool.p.W + 1) / 2
+	energies := make([]float64, segCap*pool.p.Labels)
+	currents := make([]int, segCap)
+	out := make([]int, segCap)
+	for color := range pool.cmds[e-1] {
+		pool.execPhase(e, color, energies, currents, out)
 		pool.phase.Done()
 	}
 }
 
-// shard processes worker w's cells of one color class. A sampler error or
-// panic is captured into the worker's error slot (panic-to-error hardening:
-// a panicking sampler must fail the solve, not kill the process); the
-// worker then sits out the rest of the run but keeps honoring the phase
-// barrier so the solve can unwind cleanly.
-func (pool *solverPool) shard(w, color int, energies []float64) {
+// execPhase runs one color phase for executor e's contiguous block of
+// logical workers, sequentially and in worker order.
+func (pool *solverPool) execPhase(e, color int, energies []float64, currents, out []int) {
+	workers := len(pool.samplers)
+	for w := e * workers / pool.nexec; w < (e+1)*workers/pool.nexec; w++ {
+		pool.shard(w, color, energies, currents, out)
+	}
+}
+
+// shard processes worker w's cells of one color class as fused row segments:
+// every maximal same-row run of the shard is gathered with one
+// LabelEnergiesSeg call and drawn with one SampleBatch call. Within a color
+// phase no cell's neighbors change (neighbors are all the other color), so
+// batch-gathering a whole segment before drawing it yields exactly the
+// energies — and therefore exactly the RNG draws — of the per-pixel loop.
+// A sampler error or panic is captured into the worker's error slot
+// (panic-to-error hardening: a panicking sampler must fail the solve, not
+// kill the process); the worker then sits out the rest of the run but keeps
+// honoring the phase barrier so the solve can unwind cleanly.
+func (pool *solverPool) shard(w, color int, energies []float64, currents, out []int) {
 	defer func() {
 		if r := recover(); r != nil {
 			pool.errs[w] = fmt.Errorf("mrf: worker %d panicked: %v", w, r)
@@ -108,46 +173,75 @@ func (pool *solverPool) shard(w, color int, energies []float64) {
 	}
 	s := pool.samplers[w]
 	p, tab, lab := pool.p, pool.tab, pool.lab
-	for _, c := range pool.shards[color][w] {
-		x, y := int(c)%p.W, int(c)/p.W
-		tab.LabelEnergies(energies, lab, x, y)
-		cur := lab.At(x, y)
-		next, err := s.Sample(energies, cur)
-		if err != nil {
-			pool.errs[w] = fmt.Errorf("mrf: worker %d pixel (%d,%d): %w", w, x, y, err)
+	L := p.Labels
+	cells := pool.shards[color][w]
+	for i := 0; i < len(cells); {
+		c := int(cells[i])
+		x0, y := c%p.W, c/p.W
+		// Extend across the same-row stride-2 run. The row bound matters:
+		// for odd W the next row's first cell continues the stride-2 linear
+		// sequence, so contiguity of indices alone would jump rows.
+		n := 1
+		nmax := (p.W - x0 + 1) / 2
+		if m := len(cells) - i; nmax > m {
+			nmax = m
+		}
+		for n < nmax && int(cells[i+n]) == c+2*n {
+			n++
+		}
+		tab.LabelEnergiesSeg(energies[:n*L], lab, y, x0, 2, n)
+		for j := 0; j < n; j++ {
+			currents[j] = lab.L[c+2*j]
+		}
+		if err := s.SampleBatch(energies[:n*L], L, currents[:n], out[:n]); err != nil {
+			pool.errs[w] = fmt.Errorf("mrf: worker %d pixel (%d,%d): %w", w, x0, y, err)
 			return
 		}
-		if next != cur {
-			lab.Set(x, y, next)
-			pool.flips[w]++
+		for j := 0; j < n; j++ {
+			if next := out[j]; next != currents[j] {
+				if pool.track {
+					pool.edelta[w] += tab.FlipDelta(lab, x0+2*j, y, currents[j], next)
+				}
+				lab.L[c+2*j] = next
+				pool.flips[w]++
+			}
 		}
+		i += n
 	}
 }
 
 // sweep drives both color phases of one sweep through the barrier and
-// returns the sweep's flip count (and the first worker error, if any).
-// The channel sends publish the main goroutine's writes to the workers;
-// phase.Wait publishes the workers' label writes back — the same
-// happens-before edges the per-sweep WaitGroup used to provide.
-func (pool *solverPool) sweep() (int, error) {
+// returns the sweep's flip count and energy delta (and the first worker
+// error, if any). The channel sends publish the main goroutine's writes to
+// the workers; phase.Wait publishes the workers' label writes back — the
+// same happens-before edges the per-sweep WaitGroup used to provide.
+// Per-worker deltas are summed in worker order, so the tracked energy is
+// deterministic for a fixed shard assignment.
+func (pool *solverPool) sweep() (int, float64, error) {
 	for color := 0; color < 2; color++ {
 		pool.phase.Add(len(pool.cmds))
 		for _, cmd := range pool.cmds {
 			cmd <- color
 		}
+		// Executor 0 runs inline on this goroutine instead of parking at
+		// the barrier — same samplers, same shards, same draw order.
+		pool.execPhase(0, color, pool.energies0, pool.currents0, pool.out0)
 		pool.phase.Wait()
 	}
 	flips := 0
+	var delta float64
 	for w := range pool.flips {
 		flips += pool.flips[w]
 		pool.flips[w] = 0
+		delta += pool.edelta[w]
+		pool.edelta[w] = 0
 	}
 	for _, err := range pool.errs {
 		if err != nil {
-			return flips, err
+			return flips, delta, err
 		}
 	}
-	return flips, nil
+	return flips, delta, nil
 }
 
 // stop shuts the workers down and waits for every goroutine to exit, so a
@@ -197,26 +291,33 @@ func SolveParallelCtx(ctx context.Context, p *Problem, samplers []core.LabelSamp
 		shards[color] = shardCells(cells[color], workers)
 	}
 
-	pool := newSolverPool(p, tab, lab, samplers, shards)
+	track := opts.OnSweep != nil
+	pool := newSolverPool(p, tab, lab, samplers, shards, track, resolveExecutors(opts.Executors, workers))
 	defer pool.stop()
 
+	var energy float64
+	if track {
+		energy = tab.TotalEnergy(lab)
+	}
+	ti := sched.iter()
 	for k := 0; k < sched.Iterations; k++ {
 		if err := ctx.Err(); err != nil {
 			return lab, err
 		}
 		start := time.Now()
-		T := sched.Temperature(k)
+		T := ti.next()
 		for _, s := range samplers {
 			if err := s.SetTemperature(T); err != nil {
 				return lab, fmt.Errorf("mrf: sweep %d: %w", k, err)
 			}
 		}
-		flips, err := pool.sweep()
+		flips, delta, err := pool.sweep()
 		if err != nil {
 			return lab, err
 		}
-		if opts.OnSweep != nil {
-			emitSweep(opts, tab, lab, k, T, flips, start)
+		if track {
+			energy += delta
+			emitSweep(opts, lab, k, T, energy, flips, start)
 		}
 	}
 	return lab, nil

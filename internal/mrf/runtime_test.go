@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 	"testing"
@@ -231,8 +232,11 @@ func TestSolveStatsRecords(t *testing.T) {
 			if want := sched.Temperature(i); st.T != want {
 				t.Errorf("workers %d sweep %d: T = %v, want %v", workers, i, st.T, want)
 			}
-			if st.Energy != energies[i] {
-				t.Errorf("workers %d sweep %d: Energy = %v, want %v", workers, i, st.Energy, energies[i])
+			// Energy is tracked incrementally (init + per-flip deltas), so it
+			// matches the recomputed total only up to float accumulation
+			// error — 1e-9 relative is the documented invariant.
+			if diff := math.Abs(st.Energy - energies[i]); diff > 1e-9*math.Abs(energies[i]) {
+				t.Errorf("workers %d sweep %d: Energy = %v, want %v (recomputed)", workers, i, st.Energy, energies[i])
 			}
 			if st.Flips < 0 || st.Flips > p.W*p.H {
 				t.Errorf("workers %d sweep %d: Flips = %d out of range", workers, i, st.Flips)

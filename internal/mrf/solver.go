@@ -67,6 +67,34 @@ func (s Schedule) Temperature(k int) float64 {
 	return t
 }
 
+// tempIter streams the schedule's temperatures T(0), T(1), ... via a running
+// product — one multiplication per sweep instead of Temperature's math.Pow.
+// Temperature stays the public closed form; the solvers use the iterator, and
+// a regression test pins the two within 1-ulp-per-step accumulation error
+// (they agree exactly for the first dozen sweeps and whenever Alpha is a
+// power of two or one).
+type tempIter struct {
+	t, alpha, floor float64
+}
+
+// iter returns the running-product iterator for the schedule.
+func (s Schedule) iter() tempIter {
+	return tempIter{t: s.T0, alpha: s.Alpha, floor: s.floor()}
+}
+
+// next returns the current sweep's temperature and advances the product.
+// Once the product reaches the floor it is pinned there, mirroring the
+// closed form's clamp (both sequences are non-increasing).
+func (it *tempIter) next() float64 {
+	t := it.t
+	if t <= it.floor {
+		it.t = it.floor
+		return it.floor
+	}
+	it.t = t * it.alpha
+	return t
+}
+
 // SolveStats is the per-sweep observability record delivered to the OnSweep
 // hook — the software analogue of the per-iteration chain statistics the
 // RSU-G's follow-up work treats as first-class outputs.
@@ -104,6 +132,15 @@ type SolveOptions struct {
 	// n > 1 = n checkerboard-parallel workers. Solve and SolveParallel
 	// themselves ignore it — their sampler arguments fix the worker count.
 	Workers int
+	// Executors caps how many goroutines actually run the logical worker
+	// shards of the parallel solver. Logical workers fix the output — each
+	// owns one sampler (RNG stream) and one shard per color — while
+	// executors merely schedule them, so every executor count yields a
+	// bit-identical labeling. 0 = min(workers, NumCPU, GOMAXPROCS): running
+	// more OS threads than physical cores buys no parallelism and only adds
+	// scheduler churn at the color-phase barriers. Values above the worker
+	// count are clamped to it.
+	Executors int
 	// Tables, when non-nil, supplies precomputed lookup tables for the
 	// problem (see Problem.BuildTables), letting multi-restart callers
 	// amortize table construction across solves. Must have been built
@@ -153,17 +190,85 @@ func prepare(p *Problem, sched Schedule, opts SolveOptions) (*img.Labels, *Table
 	return lab, tab, nil
 }
 
-// emitSweep computes the sweep's SolveStats (total energy included) and
-// invokes the hook. Called only when opts.OnSweep is non-nil, so runs that
-// do not observe sweeps pay nothing for the energy evaluation.
-func emitSweep(opts SolveOptions, tab *Tables, lab *img.Labels, k int, T float64, flips int, start time.Time) {
+// emitSweep assembles the sweep's SolveStats and invokes the hook. energy is
+// the incrementally-tracked total MRF energy (initial TotalEnergy plus the
+// FlipDelta of every accepted flip), so observability costs O(flips) per
+// sweep instead of a full re-evaluation; a randomized property test pins it
+// against TotalEnergy recomputation to 1e-9 relative error.
+func emitSweep(opts SolveOptions, lab *img.Labels, k int, T, energy float64, flips int, start time.Time) {
 	opts.OnSweep(k, lab, SolveStats{
 		Sweep:   k,
 		T:       T,
-		Energy:  tab.TotalEnergy(lab),
+		Energy:  energy,
 		Flips:   flips,
 		Elapsed: time.Since(start),
 	})
+}
+
+// serialSweeper is the fused serial sweep engine: per row it gathers the
+// whole W×Labels candidate-energy block with one LabelEnergiesRow call, then
+// draws each pixel from its slot. The raster scan's only intra-row data
+// dependence is the left neighbor, so a slot is stale only when the
+// immediately preceding pixel flipped — in that case the slot is recomputed
+// through the exact per-pixel LabelEnergies path, keeping every energy
+// vector (and therefore every RNG draw) bit-identical to the unfused loop.
+// The block is allocated once per solve; steady-state sweeps are zero-alloc.
+type serialSweeper struct {
+	p       *Problem
+	tab     *Tables
+	lab     *img.Labels
+	sampler core.LabelSampler
+	block   []float64 // one row's W×Labels energy block, reused every row
+	track   bool      // maintain energy incrementally (OnSweep is set)
+	energy  float64   // running total MRF energy, valid when track
+}
+
+func newSerialSweeper(p *Problem, tab *Tables, lab *img.Labels, sampler core.LabelSampler, track bool) *serialSweeper {
+	s := &serialSweeper{
+		p: p, tab: tab, lab: lab, sampler: sampler,
+		block: make([]float64, p.W*p.Labels),
+		track: track,
+	}
+	if track {
+		s.energy = tab.TotalEnergy(lab)
+	}
+	return s
+}
+
+// sweep runs one full raster-scan Gibbs sweep; k names the sweep in errors.
+func (s *serialSweeper) sweep(k int) (int, error) {
+	p, tab, lab := s.p, s.tab, s.lab
+	L := p.Labels
+	flips := 0
+	for y := 0; y < p.H; y++ {
+		tab.LabelEnergiesRow(s.block, lab, y)
+		prevFlipped := false
+		for x := 0; x < p.W; x++ {
+			vec := s.block[x*L : x*L+L]
+			if prevFlipped {
+				// The left neighbor changed after the row gather; recompute
+				// this one slot through the per-pixel path so the energies
+				// match the unfused raster scan bit for bit.
+				tab.LabelEnergies(vec, lab, x, y)
+			}
+			cur := lab.At(x, y)
+			next, err := s.sampler.Sample(vec, cur)
+			if err != nil {
+				return flips, fmt.Errorf("mrf: sweep %d pixel (%d,%d): %w", k, x, y, err)
+			}
+			if next != cur {
+				if s.track {
+					s.energy += tab.FlipDelta(lab, x, y, cur, next)
+				}
+				lab.Set(x, y, next)
+				flips++
+				prevFlipped = true
+			} else {
+				prevFlipped = false
+			}
+		}
+	}
+	return flips, nil
 }
 
 // Solve runs simulated-annealing Gibbs sampling on the problem using the
@@ -187,33 +292,23 @@ func SolveCtx(ctx context.Context, p *Problem, sampler core.LabelSampler, sched 
 	if err != nil {
 		return nil, err
 	}
-	energies := make([]float64, p.Labels)
+	sw := newSerialSweeper(p, tab, lab, sampler, opts.OnSweep != nil)
+	ti := sched.iter()
 	for k := 0; k < sched.Iterations; k++ {
 		if err := ctx.Err(); err != nil {
 			return lab, err
 		}
 		start := time.Now()
-		T := sched.Temperature(k)
+		T := ti.next()
 		if err := sampler.SetTemperature(T); err != nil {
 			return lab, fmt.Errorf("mrf: sweep %d: %w", k, err)
 		}
-		flips := 0
-		for y := 0; y < p.H; y++ {
-			for x := 0; x < p.W; x++ {
-				tab.LabelEnergies(energies, lab, x, y)
-				cur := lab.At(x, y)
-				next, err := sampler.Sample(energies, cur)
-				if err != nil {
-					return lab, fmt.Errorf("mrf: sweep %d pixel (%d,%d): %w", k, x, y, err)
-				}
-				if next != cur {
-					lab.Set(x, y, next)
-					flips++
-				}
-			}
+		flips, err := sw.sweep(k)
+		if err != nil {
+			return lab, err
 		}
 		if opts.OnSweep != nil {
-			emitSweep(opts, tab, lab, k, T, flips, start)
+			emitSweep(opts, lab, k, T, sw.energy, flips, start)
 		}
 	}
 	return lab, nil

@@ -50,7 +50,27 @@ func (q Quantizer) Encode(v float64) int {
 		return q.MaxCode()
 	}
 	scale := float64(q.MaxCode()) / (q.Max - q.Min)
-	return int(math.Round((v - q.Min) * scale))
+	return RoundPos((v - q.Min) * scale)
+}
+
+// RoundPos rounds a positive v below 2^52 to the nearest integer, half away
+// from zero — bit-compatible with int(math.Round(v)) on that domain, but
+// compiled to an add and a truncating conversion instead of math.Round's
+// portable bit twiddling. It is the sampling pipeline's hot rounding
+// primitive (one call per label per pixel per sweep).
+//
+// Why the truncation is exact: for v >= 0.5 the rounded sum fl(v+0.5) never
+// crosses the next integer boundary k+1, because any v that could push it
+// there would have to lie in the open half-ulp window just below k+0.5, and
+// that window contains no representable doubles once v shares (at least)
+// the binade spacing of k+0.5. The single exception is the binade below
+// 0.5 — v = 0.5 - 2^-54 has fl(v+0.5) = 1 under ties-to-even — which the
+// v < 0.5 guard resolves to 0, exactly as math.Round does.
+func RoundPos(v float64) int {
+	if v < 0.5 {
+		return 0
+	}
+	return int(v + 0.5)
 }
 
 // Decode maps a code back to the center of its quantization cell.

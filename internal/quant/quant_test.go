@@ -142,3 +142,37 @@ func TestLevelsAndMaxCode(t *testing.T) {
 		t.Errorf("Levels/MaxCode = %d/%d, want 256/255", q.Levels(), q.MaxCode())
 	}
 }
+
+// TestRoundPosMatchesMathRound pins RoundPos to int(math.Round(v)) on the
+// positive sub-2^52 domain the sampling pipeline feeds it: adversarial
+// boundary values (exact halves, half-ulp neighbors on both sides of every
+// kind of boundary, binade crossings) plus a randomized sweep.
+func TestRoundPosMatchesMathRound(t *testing.T) {
+	check := func(v float64) {
+		t.Helper()
+		if got, want := RoundPos(v), int(math.Round(v)); got != want {
+			t.Errorf("RoundPos(%.20g) = %d, want %d", v, got, want)
+		}
+	}
+	adversarial := []float64{
+		0, 1e-300, 0.25, 0.5, 1, 1.5, 2, 2.5, 3.5, 127.5, 128.5, 255,
+		math.Nextafter(0.5, 0), math.Nextafter(0.5, 1),
+		math.Nextafter(1.5, 0), math.Nextafter(1.5, 2),
+		math.Nextafter(2, 0), math.Nextafter(2, 3),
+		math.Nextafter(1, 0), math.Nextafter(1, 2),
+		1 << 20, float64(1<<20) + 0.5, math.Nextafter(float64(1<<20)+0.5, 0),
+		float64(1<<51) - 0.5, math.Nextafter(float64(1<<51)-0.5, 0),
+	}
+	for _, v := range adversarial {
+		check(v)
+	}
+	if err := quick.Check(func(raw float64) bool {
+		v := math.Abs(raw)
+		for v >= 1<<52 {
+			v /= 1 << 30
+		}
+		return RoundPos(v) == int(math.Round(v))
+	}, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}

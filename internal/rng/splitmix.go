@@ -23,23 +23,22 @@ func (s *SplitMix64) Uint64() uint64 {
 
 // Xoshiro256 implements xoshiro256** 1.0 (Blackman & Vigna), the default
 // simulation generator for this repository: fast, 256-bit state, and passes
-// the statistical batteries relevant at our sample counts.
+// the statistical batteries relevant at our sample counts. The state lives
+// in four scalar fields (not an array) so Uint64 stays under the compiler's
+// inlining budget — the sampling hot loops rely on the draw inlining.
 type Xoshiro256 struct {
-	s [4]uint64
+	s0, s1, s2, s3 uint64
 }
 
 // NewXoshiro256 returns a generator whose state is expanded from seed via
 // SplitMix64, as recommended by the xoshiro authors.
 func NewXoshiro256(seed uint64) *Xoshiro256 {
 	sm := NewSplitMix64(seed)
-	x := &Xoshiro256{}
-	for i := range x.s {
-		x.s[i] = sm.Uint64()
-	}
+	x := &Xoshiro256{s0: sm.Uint64(), s1: sm.Uint64(), s2: sm.Uint64(), s3: sm.Uint64()}
 	// An all-zero state is invalid (fixed point); splitmix cannot produce
 	// four consecutive zeros from any seed, but guard anyway.
-	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
-		x.s[0] = 0x9e3779b97f4a7c15
+	if x.s0|x.s1|x.s2|x.s3 == 0 {
+		x.s0 = 0x9e3779b97f4a7c15
 	}
 	return x
 }
@@ -48,13 +47,13 @@ func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 pseudo-random bits.
 func (x *Xoshiro256) Uint64() uint64 {
-	result := rotl(x.s[1]*5, 7) * 9
-	t := x.s[1] << 17
-	x.s[2] ^= x.s[0]
-	x.s[3] ^= x.s[1]
-	x.s[1] ^= x.s[2]
-	x.s[0] ^= x.s[3]
-	x.s[2] ^= t
-	x.s[3] = rotl(x.s[3], 45)
+	result := rotl(x.s1*5, 7) * 9
+	t := x.s1 << 17
+	x.s2 ^= x.s0
+	x.s3 ^= x.s1
+	x.s1 ^= x.s2
+	x.s0 ^= x.s3
+	x.s2 ^= t
+	x.s3 = rotl(x.s3, 45)
 	return result
 }
