@@ -3,7 +3,10 @@ GO ?= go
 # Fuzz budget per target; fuzz-smoke overrides it for CI (see below).
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet race race-runtime verify fuzz fuzz-smoke check bench bench-once perf perf-check profile
+# Coverage floor for the uncertainty-quantification estimators (DESIGN.md §12).
+UQ_COVER_MIN ?= 85
+
+.PHONY: all build test vet race race-runtime verify fuzz fuzz-smoke check cover bench bench-once perf perf-check profile
 
 all: check
 
@@ -31,6 +34,18 @@ race-runtime:
 # Fails on any distribution non-conformance or golden drift.
 verify:
 	$(GO) run ./cmd/rsu-verify
+
+# Whole-tree coverage profile plus a hard floor on internal/uq: the UQ
+# estimators feed confidence numbers to users, so untested estimator math is
+# a gate failure, not a warning. Writes coverage.out (uploaded by CI).
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out > coverage.txt
+	@$(GO) test -count=1 -coverprofile=coverage-uq.out -coverpkg=rsu/internal/uq ./internal/uq > /dev/null
+	@pct=$$($(GO) tool cover -func=coverage-uq.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "internal/uq coverage: $$pct% (floor $(UQ_COVER_MIN)%)"; \
+	awk -v p="$$pct" -v min="$(UQ_COVER_MIN)" 'BEGIN { exit (p+0 >= min+0 ? 0 : 1) }' || \
+	{ echo "internal/uq coverage $$pct% is below the $(UQ_COVER_MIN)% floor"; exit 1; }
 
 # Native Go fuzzing of the sampling pipeline and the lambda converter.
 # FUZZTIME sets the budget per target (default 30s above).

@@ -14,6 +14,7 @@ import (
 	"rsu/internal/rng"
 	"rsu/internal/rsim"
 	"rsu/internal/synth"
+	"rsu/internal/uq"
 )
 
 // The experiment benchmarks run each paper table/figure driver end to end
@@ -289,6 +290,37 @@ func BenchmarkGibbsSweepStereoParallel(b *testing.B) {
 		}
 	}
 }
+
+// benchSolveWithCollector measures the uq collection overhead on a full
+// stereo sweep at the mrf.Solve level: the accumulator is built once outside
+// the loop (its allocation is setup, not per-solve cost), so the with/without
+// delta is exactly the per-sweep histogram pass. Compare the two benchmarks
+// to read off the Collector hook's cost; with collect=false the hook is a
+// nil check and the numbers must match the plain solve.
+func benchSolveWithCollector(b *testing.B, collect bool) {
+	b.Helper()
+	prob := stereo.BuildProblem(synth.Poster(1), stereo.DefaultParams())
+	sched := mrf.Schedule{T0: 32, Alpha: 0.99, Iterations: 1}
+	u := core.MustUnit(core.NewRSUG(), rng.NewXoshiro256(1), true)
+	var opts mrf.SolveOptions
+	if collect {
+		acc, err := uq.NewAccumulator(prob.W, prob.H, prob.Labels, uq.Options{BurnIn: 0, Thin: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.Collector = acc
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mrf.Solve(prob, u, sched, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveWithCollector(b *testing.B)    { benchSolveWithCollector(b, true) }
+func BenchmarkSolveWithoutCollector(b *testing.B) { benchSolveWithCollector(b, false) }
 
 func BenchmarkPerfModel(b *testing.B) {
 	b.ReportAllocs()

@@ -34,8 +34,10 @@ func main() {
 		workers = flag.Int("workers", 0, "solver workers: 0 = GOMAXPROCS, 1 = serial")
 		out     = flag.String("out", "", "directory for PGM outputs")
 		ropt    runopt.Flags
+		uqf     runopt.UQFlags
 	)
 	ropt.Register(flag.CommandLine)
+	uqf.Register(flag.CommandLine)
 	flag.Parse()
 
 	var pair *synth.FlowPair
@@ -55,6 +57,7 @@ func main() {
 		p.Schedule.Iterations = *iters
 	}
 	ropt.Apply(&p.Schedule)
+	p.UQ = uqf.Options()
 
 	build, err := core.SamplerBuilder(*sampler)
 	if err != nil {
@@ -78,6 +81,9 @@ func main() {
 	}
 	fmt.Printf("%s (%dx%d, %d labels) with %s sampler: EPE %.3f px\n",
 		pair.Name, pair.Frame0.W, pair.Frame0.H, pair.LabelCount(), *sampler, res.EPE)
+	if err := runopt.ReportUQ(os.Stdout, res.UQ, res.Labels, *out, pair.Name); err != nil {
+		log.Fatal(err)
+	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

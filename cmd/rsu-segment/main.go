@@ -36,14 +36,17 @@ func main() {
 		workers = flag.Int("workers", 0, "solver workers: 0 = GOMAXPROCS, 1 = serial")
 		out     = flag.String("out", "", "directory for PGM outputs")
 		ropt    runopt.Flags
+		uqf     runopt.UQFlags
 	)
 	ropt.Register(flag.CommandLine)
+	uqf.Register(flag.CommandLine)
 	flag.Parse()
 
 	p := segment.DefaultParams()
 	if *iters > 0 {
 		p.Iterations = *iters
 	}
+	p.UQ = uqf.Options()
 
 	build, err := core.SamplerBuilder(*sampler)
 	if err != nil {
@@ -85,6 +88,9 @@ func main() {
 	if *pgmPath == "" {
 		fmt.Printf("  VoI %.3f  PRI %.3f  GCE %.3f  BDE %.2f\n",
 			res.Scores.VoI, res.Scores.PRI, res.Scores.GCE, res.Scores.BDE)
+	}
+	if err := runopt.ReportUQ(os.Stdout, res.UQ, res.Labeling, *out, scene.Name); err != nil {
+		log.Fatal(err)
 	}
 
 	if *out != "" {

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	rsu-verify                       # battery + golden comparison
+//	rsu-verify                       # battery + marginal battery + goldens
 //	rsu-verify -samples 100000       # higher-power battery run
+//	rsu-verify -replicates 5000      # higher-power marginal battery run
 //	rsu-verify -update-golden        # regenerate the golden trace files
-//	rsu-verify -skip-battery         # golden comparison only
+//	rsu-verify -skip-battery         # skip the per-draw distribution battery
+//	rsu-verify -skip-marginals       # skip the posterior-marginal battery
 //
 // Exit status is non-zero when any battery check fails its
 // Bonferroni-corrected threshold or any golden trace drifts.
@@ -29,6 +31,8 @@ func main() {
 		seed        = flag.Uint64("seed", 2026, "battery RNG seed")
 		alpha       = flag.Float64("alpha", 1e-3, "battery total false-rejection budget")
 		skipBattery = flag.Bool("skip-battery", false, "skip the distribution battery")
+		replicates  = flag.Int("replicates", 2000, "marginal-battery replicate chains per (grid, point, solver)")
+		skipMarg    = flag.Bool("skip-marginals", false, "skip the posterior-marginal battery")
 		verbose     = flag.Bool("v", false, "print every battery check")
 	)
 	flag.Parse()
@@ -60,6 +64,36 @@ func main() {
 				f.Point, f.Kind, f.Energies, f.Path, f.P, rep.Threshold)
 		}
 		fmt.Printf("battery: %d checks, paths %v, min p = %.4g (threshold %.3g)\n",
+			len(rep.Checks), rep.Paths(), rep.MinP(), rep.Threshold)
+	}
+
+	if !*skipMarg {
+		rep, err := conformance.RunMarginalBattery(
+			conformance.DefaultMarginalGrids(), conformance.DefaultMarginalPoints(),
+			conformance.MarginalOptions{Replicates: *replicates, Alpha: *alpha, Seed: *seed},
+		)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsu-verify:", err)
+			os.Exit(2)
+		}
+		if *verbose {
+			for _, c := range rep.Checks {
+				status := "ok"
+				if c.Skipped {
+					status = "skip"
+				} else if c.P < rep.Threshold {
+					status = "FAIL"
+				}
+				fmt.Printf("%-4s %-22s %-13s %-14s %-3s %-10s p=%.4g\n",
+					status, c.Point, c.Path, c.Solver, c.Grid, c.Test, c.P)
+			}
+		}
+		for _, f := range rep.Failures() {
+			failed = true
+			fmt.Fprintf(os.Stderr, "rsu-verify: marginals FAIL %s/%s/%s %s (%s): p = %.3g < %.3g\n",
+				f.Point, f.Grid, f.Solver, f.Test, f.Path, f.P, rep.Threshold)
+		}
+		fmt.Printf("marginals: %d checks, paths %v, min p = %.4g (threshold %.3g)\n",
 			len(rep.Checks), rep.Paths(), rep.MinP(), rep.Threshold)
 	}
 

@@ -15,6 +15,7 @@ import (
 	"rsu/internal/metrics"
 	"rsu/internal/mrf"
 	"rsu/internal/synth"
+	"rsu/internal/uq"
 )
 
 // Params are the MCMC model parameters for motion estimation.
@@ -55,6 +56,13 @@ type Params struct {
 	// (its per-level problems differ). The serving layer's artifact cache
 	// populates this.
 	PairLUT *mrf.PairLUT
+	// UQ, when non-nil, enables posterior sample collection in Solve:
+	// per-pixel label histograms accumulate after the configured burn-in and
+	// the Result carries the marginal / confidence estimates. Collection
+	// never perturbs the solve (see mrf.Collector). The pyramid solver
+	// ignores it — its per-level problems have different shapes, so a single
+	// accumulator cannot span the run.
+	UQ *uq.Options
 }
 
 // ctx resolves the solve context.
@@ -115,6 +123,9 @@ type Result struct {
 	Pair   *synth.FlowPair
 	Labels *img.Labels
 	EPE    float64 // average end-point error, in pixels
+	// UQ holds the posterior marginal estimates when Params.UQ enabled
+	// collection; nil otherwise.
+	UQ *uq.Result
 }
 
 // Solve runs the MRF solver on the frame pair with the given sampler and
@@ -133,6 +144,15 @@ func Solve(pair *synth.FlowPair, sampler core.LabelSampler, p Params) (*Result, 
 		}
 		opts.Tables = tab
 	}
+	var acc *uq.Accumulator
+	if p.UQ != nil {
+		var err error
+		acc, err = uq.NewForRun(*p.UQ, prob.W, prob.H, prob.Labels, p.Schedule.Iterations)
+		if err != nil {
+			return nil, err
+		}
+		opts.Collector = acc
+	}
 	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory, p.Schedule, opts)
 	if err != nil {
 		return nil, err
@@ -147,7 +167,13 @@ func Solve(pair *synth.FlowPair, sampler core.LabelSampler, p Params) (*Result, 
 		pu[i], pv[i] = float64(u), float64(v)
 		gu[i], gv[i] = float64(pair.GTU[i]), float64(pair.GTV[i])
 	}
-	return &Result{Pair: pair, Labels: lab, EPE: metrics.EndPointError(pu, pv, gu, gv)}, nil
+	res := &Result{Pair: pair, Labels: lab, EPE: metrics.EndPointError(pu, pv, gu, gv)}
+	if acc != nil {
+		if res.UQ, err = acc.Estimate(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // initialLabels starts every pixel at the zero-motion label, a neutral

@@ -15,6 +15,7 @@ import (
 	"rsu/internal/metrics"
 	"rsu/internal/mrf"
 	"rsu/internal/synth"
+	"rsu/internal/uq"
 )
 
 // Params are the MCMC model parameters for segmentation.
@@ -50,6 +51,11 @@ type Params struct {
 	// mrf.BuildTablesShared). The serving layer's artifact cache populates
 	// this.
 	PairLUT *mrf.PairLUT
+	// UQ, when non-nil, enables posterior sample collection: per-pixel label
+	// histograms accumulate after the configured burn-in and the Result
+	// carries the marginal / confidence estimates. Collection never perturbs
+	// the solve (see mrf.Collector).
+	UQ *uq.Options
 }
 
 // ctx resolves the solve context.
@@ -145,6 +151,9 @@ type Result struct {
 	Scene    *synth.SegScene
 	Labeling *img.Labels
 	Scores   metrics.SegScores
+	// UQ holds the posterior marginal estimates when Params.UQ enabled
+	// collection; nil otherwise.
+	UQ *uq.Result
 }
 
 // Solve segments the scene's image into scene.Segments segments using the
@@ -175,14 +184,29 @@ func Solve(scene *synth.SegScene, sampler core.LabelSampler, p Params) (*Result,
 		}
 		opts.Tables = tab
 	}
+	var acc *uq.Accumulator
+	if p.UQ != nil {
+		var err error
+		acc, err = uq.NewForRun(*p.UQ, prob.W, prob.H, prob.Labels, p.Iterations)
+		if err != nil {
+			return nil, err
+		}
+		opts.Collector = acc
+	}
 	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory,
 		mrf.Schedule{T0: p.Temperature, Alpha: 1, Iterations: p.Iterations}, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Scene:    scene,
 		Labeling: lab,
 		Scores:   metrics.EvaluateSegmentation(lab, scene.GT),
-	}, nil
+	}
+	if acc != nil {
+		if res.UQ, err = acc.Estimate(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }

@@ -14,6 +14,7 @@ import (
 	"rsu/internal/metrics"
 	"rsu/internal/mrf"
 	"rsu/internal/synth"
+	"rsu/internal/uq"
 )
 
 // Params are the MCMC model parameters. The defaults come from a best-effort
@@ -51,6 +52,11 @@ type Params struct {
 	// problem's label count and smoothness model — see mrf.BuildTablesShared).
 	// The serving layer's artifact cache populates this.
 	PairLUT *mrf.PairLUT
+	// UQ, when non-nil, enables posterior sample collection: per-pixel label
+	// histograms accumulate after the configured burn-in and the Result
+	// carries the marginal / confidence estimates. Collection never perturbs
+	// the solve (see mrf.Collector).
+	UQ *uq.Options
 }
 
 // ctx resolves the solve context.
@@ -111,6 +117,9 @@ type Result struct {
 	// Subregions breaks BP down by occluded / textureless regions, the
 	// more detailed Middlebury evaluation the paper references.
 	Subregions metrics.SubregionBP
+	// UQ holds the posterior marginal estimates when Params.UQ enabled
+	// collection; nil otherwise.
+	UQ *uq.Result
 }
 
 // texturelessVarianceCutoff is the 3x3 local-variance threshold below which
@@ -129,15 +138,30 @@ func Solve(pair *synth.StereoPair, sampler core.LabelSampler, p Params) (*Result
 		}
 		opts.Tables = tab
 	}
+	var acc *uq.Accumulator
+	if p.UQ != nil {
+		var err error
+		acc, err = uq.NewForRun(*p.UQ, prob.W, prob.H, prob.Labels, p.Schedule.Iterations)
+		if err != nil {
+			return nil, err
+		}
+		opts.Collector = acc
+	}
 	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory, p.Schedule, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Pair:       pair,
 		Disparity:  lab,
 		BP:         metrics.BadPixelPct(lab, pair.GT, 1, pair.Mask),
 		RMS:        metrics.RMSError(lab, pair.GT, pair.Mask),
 		Subregions: metrics.EvaluateSubregions(lab, pair.GT, pair.Mask, pair.Left, 1, texturelessVarianceCutoff),
-	}, nil
+	}
+	if acc != nil {
+		if res.UQ, err = acc.Estimate(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }

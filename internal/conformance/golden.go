@@ -84,7 +84,13 @@ func Scenarios() []Scenario {
 
 // Run executes the scenario: a small fixed-seed instance of the application
 // solved with the new-RSUG sampler, tracing the energy after every sweep.
-func (s Scenario) Run() (*Trace, error) {
+func (s Scenario) Run() (*Trace, error) { return s.RunWithCollector(nil) }
+
+// RunWithCollector is Run with an mrf.Collector attached to the solve. The
+// golden traces must be byte-identical with and without one — the collector
+// contract says collection is observation only — and the UQ regression tests
+// gate exactly that by re-running every scenario through this entry point.
+func (s Scenario) RunWithCollector(c mrf.Collector) (*Trace, error) {
 	prob, sched, init, err := goldenProblem(s.App)
 	if err != nil {
 		return nil, err
@@ -94,8 +100,9 @@ func (s Scenario) Run() (*Trace, error) {
 	})
 	tr := &Trace{App: s.App, Workers: s.Workers}
 	lab, err := mrf.SolveAuto(prob, factory, sched, mrf.SolveOptions{
-		Init:    init,
-		Workers: s.Workers,
+		Init:      init,
+		Workers:   s.Workers,
+		Collector: c,
 		// The trace pins the historical byte format: keep evaluating the
 		// energy through Problem.TotalEnergy rather than trusting
 		// SolveStats.Energy, so the golden bytes cannot drift with the

@@ -11,6 +11,7 @@ import (
 	"rsu/internal/img"
 	"rsu/internal/mrf"
 	"rsu/internal/rng"
+	"rsu/internal/uq"
 )
 
 var updateGolden = flag.Bool("update-golden", false,
@@ -85,6 +86,39 @@ func TestGoldenSerialMatchesOneWorker(t *testing.T) {
 	ea, eb := auto.Encode(), serial.Encode()
 	if !bytes.Equal(ea, eb) {
 		t.Fatalf("SolveAuto(workers=1) diverges from serial Solve at byte %d", firstDiff(ea, eb))
+	}
+}
+
+// TestGoldenTracesWithCollector re-runs every golden scenario with a live
+// uq.Accumulator attached and demands the trace still matches the checked-in
+// bytes — the Collector trace-neutrality contract (observation only, no RNG
+// consumption) verified against all 12 scenarios, both solvers, every worker
+// count. It also sanity-checks that collection actually happened.
+func TestGoldenTracesWithCollector(t *testing.T) {
+	for _, s := range Scenarios() {
+		prob, sched, _, err := goldenProblem(s.App)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, err := uq.NewAccumulator(prob.W, prob.H, prob.Labels, uq.Options{BurnIn: 0, Thin: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := s.RunWithCollector(acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join(goldenDir, s.File()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.Encode(); !bytes.Equal(got, want) {
+			t.Errorf("%s: trace with collector diverges from golden at byte %d — collection perturbed the solve",
+				s.File(), firstDiff(got, want))
+		}
+		if acc.Samples() != sched.Iterations {
+			t.Errorf("%s: collected %d samples, want %d", s.File(), acc.Samples(), sched.Iterations)
+		}
 	}
 }
 

@@ -319,6 +319,12 @@ func SolveParallelCtx(ctx context.Context, p *Problem, samplers []core.LabelSamp
 			energy += delta
 			emitSweep(opts, lab, k, T, energy, flips, start)
 		}
+		// The pool's phase barrier has already published every worker's label
+		// writes to this goroutine, so the collector observes a consistent
+		// post-sweep labeling regardless of Workers/Executors counts.
+		if opts.Collector != nil {
+			opts.Collector.Collect(k, lab)
+		}
 	}
 	return lab, nil
 }

@@ -112,6 +112,26 @@ type SolveStats struct {
 	Elapsed time.Duration
 }
 
+// Collector receives the labeling after every completed sweep — the hook the
+// uncertainty-quantification subsystem (internal/uq) accumulates posterior
+// samples through. The contract is identical under Solve, SolveParallel and
+// the persistent worker pool:
+//
+//   - Collect runs on the goroutine driving the solve, after the sweep's
+//     label writes are published (the phase barrier in the parallel solver)
+//     and after the OnSweep hook, so its cost is never charged to
+//     SolveStats.Elapsed.
+//   - The *img.Labels argument is the solver's reused working buffer, exactly
+//     as for OnSweep: a collector that retains labels beyond the call must
+//     copy them. Collectors that only fold the labeling into an aggregate
+//     (histograms, moments) need no copy.
+//   - Collection is observation only. It consumes no RNG draws and never
+//     mutates the labeling, so attaching a Collector leaves the label trace
+//     bit-identical to a run without one.
+type Collector interface {
+	Collect(sweep int, lab *img.Labels)
+}
+
 // SolveOptions tunes a Solve run.
 type SolveOptions struct {
 	// Init is the starting labeling; nil starts from all-zero labels.
@@ -146,6 +166,10 @@ type SolveOptions struct {
 	// amortize table construction across solves. Must have been built
 	// from the same Problem value passed to the solver.
 	Tables *Tables
+	// Collector, when non-nil, observes the labeling after every sweep
+	// (see the Collector interface for the retention and neutrality
+	// contract). nil — the default — adds no work to the sweep loop.
+	Collector Collector
 }
 
 // ResolveWorkers maps the SolveOptions.Workers knob onto a concrete worker
@@ -309,6 +333,9 @@ func SolveCtx(ctx context.Context, p *Problem, sampler core.LabelSampler, sched 
 		}
 		if opts.OnSweep != nil {
 			emitSweep(opts, lab, k, T, sw.energy, flips, start)
+		}
+		if opts.Collector != nil {
+			opts.Collector.Collect(k, lab)
 		}
 	}
 	return lab, nil

@@ -9,12 +9,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
 	"time"
 
 	"rsu/internal/img"
 	"rsu/internal/mrf"
+	"rsu/internal/uq"
+	"rsu/internal/viz"
 )
 
 // Flags are the shared runtime options. Zero values mean "off" / "default".
@@ -42,6 +45,66 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 		"stream per-sweep stats as JSON Lines to this file (\"-\" = stdout)")
 	fs.Float64Var(&f.TFloor, "tfloor", 0,
 		fmt.Sprintf("annealing temperature floor (0 = default %g)", mrf.DefaultTFloor))
+}
+
+// UQFlags are the posterior-collection flags shared by the rsu-* solvers:
+// -uq switches sample collection on, -burnin and -thin tune the policy.
+type UQFlags struct {
+	// Enabled turns posterior sample collection on.
+	Enabled bool
+	// BurnIn is the sweeps discarded before collection; negative (the flag
+	// default) selects half the run. See uq.Options.
+	BurnIn int
+	// Thin collects every Thin-th post-burn-in sweep.
+	Thin int
+}
+
+// Register installs the UQ flags on fs.
+func (f *UQFlags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Enabled, "uq", false,
+		"collect posterior samples; report confidence/entropy maps and a UQ summary")
+	fs.IntVar(&f.BurnIn, "burnin", -1,
+		"sweeps discarded before UQ collection (-1 = half the run)")
+	fs.IntVar(&f.Thin, "thin", 1,
+		"collect every Nth post-burn-in sweep")
+}
+
+// Options returns the uq options to install on the app params, or nil when
+// -uq was not passed (collection fully off).
+func (f *UQFlags) Options() *uq.Options {
+	if !f.Enabled {
+		return nil
+	}
+	return &uq.Options{BurnIn: f.BurnIn, Thin: f.Thin}
+}
+
+// ReportUQ prints a UQ run's summary line and confidence histogram to w and,
+// when outDir is non-empty, writes the confidence/entropy PGMs plus the JSON
+// summary there (see uq.Result.WriteArtifacts). r may be nil — the tools call
+// it unconditionally after a solve — and point (the solver's final labeling,
+// for the disagreement rate) may be nil too.
+func ReportUQ(w io.Writer, r *uq.Result, point *img.Labels, outDir, name string) error {
+	if r == nil {
+		return nil
+	}
+	sum, err := r.Summarize(point)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "UQ: %d samples (burn-in %d, thin %d)  mean conf %.3f  min conf %.3f  mean entropy %.3f bits  disagree %.2f%%  |credible90| %.2f\n",
+		sum.Samples, sum.BurnIn, sum.Thin, sum.MeanConfidence, sum.MinConfidence,
+		sum.MeanEntropyBits, sum.DisagreementPct, sum.Credible90MeanSize)
+	fmt.Fprint(w, viz.Histogram(r.Confidence(), 0, 1, 5, 40))
+	if outDir != "" {
+		paths, err := r.WriteArtifacts(outDir, name, point)
+		if err != nil {
+			return err
+		}
+		for _, p := range paths {
+			fmt.Fprintln(w, "wrote", p)
+		}
+	}
+	return nil
 }
 
 // Apply threads the temperature-floor override into a schedule.

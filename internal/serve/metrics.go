@@ -66,14 +66,22 @@ type Metrics struct {
 	QueueDepth atomic.Int64
 	InFlight   atomic.Int64
 
+	// UQJobs counts jobs that ran with posterior collection enabled.
+	UQJobs atomic.Uint64
+
 	mu        sync.Mutex
 	jobHist   map[string]*histogram // per app: whole-job latency
 	sweepHist map[string]*histogram // per app: per-sweep latency
+	uqHist    map[string]*histogram // per app: cumulative UQ collection overhead
 }
 
 // NewMetrics returns an empty metrics set.
 func NewMetrics() *Metrics {
-	return &Metrics{jobHist: make(map[string]*histogram), sweepHist: make(map[string]*histogram)}
+	return &Metrics{
+		jobHist:   make(map[string]*histogram),
+		sweepHist: make(map[string]*histogram),
+		uqHist:    make(map[string]*histogram),
+	}
 }
 
 func (m *Metrics) hist(set map[string]*histogram, app string) *histogram {
@@ -95,6 +103,13 @@ func (m *Metrics) ObserveJob(app string, seconds float64) {
 // ObserveSweep records one solver sweep's duration.
 func (m *Metrics) ObserveSweep(app string, seconds float64) {
 	m.hist(m.sweepHist, app).observe(seconds)
+}
+
+// ObserveUQ records one UQ-enabled job's cumulative sample-collection
+// overhead (uq.Result.CollectSeconds).
+func (m *Metrics) ObserveUQ(app string, seconds float64) {
+	m.UQJobs.Add(1)
+	m.hist(m.uqHist, app).observe(seconds)
 }
 
 // formatFloat renders a bucket bound the way Prometheus clients do.
@@ -138,6 +153,7 @@ func (m *Metrics) Render(cache CacheStats) string {
 	counter("rsu_serve_jobs_expired_total", "jobs cancelled or past deadline", m.Expired.Load())
 	gauge("rsu_serve_queue_depth", "jobs waiting in the queue", m.QueueDepth.Load())
 	gauge("rsu_serve_jobs_in_flight", "jobs currently solving", m.InFlight.Load())
+	counter("rsu_serve_uq_jobs_total", "jobs run with posterior collection", m.UQJobs.Load())
 
 	counter("rsu_serve_cache_pair_hits_total", "pairwise-LUT cache hits", cache.PairHits)
 	counter("rsu_serve_cache_pair_misses_total", "pairwise-LUT cache misses", cache.PairMisses)
@@ -160,8 +176,13 @@ func (m *Metrics) Render(cache CacheStats) string {
 	for k, v := range m.sweepHist {
 		sweeps[k] = v
 	}
+	uqs := make(map[string]*histogram, len(m.uqHist))
+	for k, v := range m.uqHist {
+		uqs[k] = v
+	}
 	m.mu.Unlock()
 	renderHistograms(&b, "rsu_serve_job_seconds", jobs)
 	renderHistograms(&b, "rsu_serve_sweep_seconds", sweeps)
+	renderHistograms(&b, "rsu_serve_uq_collect_seconds", uqs)
 	return b.String()
 }

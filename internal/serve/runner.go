@@ -15,6 +15,7 @@ import (
 	"rsu/internal/img"
 	"rsu/internal/mrf"
 	"rsu/internal/synth"
+	"rsu/internal/uq"
 )
 
 // JobResult is the outcome of one inference job, the JSON body of a
@@ -41,6 +42,56 @@ type JobResult struct {
 	// RunLog holds the per-sweep JSONL records when the spec asked for
 	// capture_log.
 	RunLog []string `json:"run_log,omitempty"`
+	// UQ holds the posterior-marginal summary (and optionally the inlined
+	// marginal array) when the spec asked for uq.
+	UQ *UQResult `json:"uq,omitempty"`
+}
+
+// maxInlineMarginals caps the marginal values a result may inline
+// (W*H*Labels float64s); larger problems get the summary only, flagged by
+// MarginalsOmitted. 1M values keeps the JSON body under ~25 MB worst case —
+// teddy at scale 1 (64x48x56 = 172k values) fits comfortably.
+const maxInlineMarginals = 1 << 20
+
+// UQResult is the uncertainty-quantification block of a job result: the
+// flat summary statistics plus, on request and within the size cap, the full
+// per-pixel marginal array.
+type UQResult struct {
+	uq.Summary
+	// W / H / Labels give Marginals its shape ((y*W+x)*Labels + l); set only
+	// when Marginals is present.
+	W      int `json:"w,omitempty"`
+	H      int `json:"h,omitempty"`
+	Labels int `json:"labels,omitempty"`
+	// Marginals is the flattened per-pixel marginal array, present when the
+	// spec asked for uq_marginals and the problem fits the inline cap.
+	Marginals []float64 `json:"marginals,omitempty"`
+	// MarginalsOmitted reports that uq_marginals was requested but the
+	// problem exceeded the inline cap.
+	MarginalsOmitted bool `json:"marginals_omitted,omitempty"`
+}
+
+// uqResult condenses a solve's uq.Result into the wire block and feeds the
+// collection-overhead histogram. r may be nil (UQ off — returns nil).
+func uqResult(r *uq.Result, point *img.Labels, s JobSpec, metrics *Metrics) (*UQResult, error) {
+	if r == nil {
+		return nil, nil
+	}
+	sum, err := r.Summarize(point)
+	if err != nil {
+		return nil, err
+	}
+	out := &UQResult{Summary: sum}
+	if s.UQMarginals {
+		if len(r.Marginals) <= maxInlineMarginals {
+			out.W, out.H, out.Labels = r.W, r.H, r.Labels
+			out.Marginals = r.Marginals
+		} else {
+			out.MarginalsOmitted = true
+		}
+	}
+	metrics.ObserveUQ(s.App, r.CollectSeconds)
+	return out, nil
 }
 
 // buildDataset resolves (building and caching) the synthetic input scene.
@@ -156,6 +207,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 			p.Schedule.Iterations = s.Iterations
 		}
 		p.SamplerFactory, p.Workers, p.Ctx, p.OnSweep = factory, workers, ctx, onSweep
+		p.UQ = s.uqOptions()
 		prob := stereo.BuildProblem(pair, p)
 		key := fmt.Sprintf("stereo/L%d/w%g/c%g", prob.Labels, p.SmoothWeight, p.SmoothCap)
 		p.PairLUT, res.PairLUTHit, err = cache.pairLUT(key, prob)
@@ -168,6 +220,9 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		}
 		res.Metrics["bp"] = r.BP
 		res.Metrics["rms"] = r.RMS
+		if res.UQ, err = uqResult(r.UQ, r.Disparity, s, metrics); err != nil {
+			return nil, err
+		}
 	case AppFlow:
 		pair := ds.(*synth.FlowPair)
 		p := flow.DefaultParams()
@@ -175,6 +230,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 			p.Schedule.Iterations = s.Iterations
 		}
 		p.SamplerFactory, p.Workers, p.Ctx, p.OnSweep = factory, workers, ctx, onSweep
+		p.UQ = s.uqOptions()
 		prob := flow.BuildProblem(pair, p)
 		key := fmt.Sprintf("flow/r%d/w%g/c%g", pair.Radius, p.SmoothWeight, p.SmoothCap)
 		p.PairLUT, res.PairLUTHit, err = cache.pairLUT(key, prob)
@@ -186,6 +242,9 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 			return nil, err
 		}
 		res.Metrics["epe"] = r.EPE
+		if res.UQ, err = uqResult(r.UQ, r.Labels, s, metrics); err != nil {
+			return nil, err
+		}
 	case AppSegment:
 		scene := ds.(*synth.SegScene)
 		p := segment.DefaultParams()
@@ -193,6 +252,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 			p.Iterations = s.Iterations
 		}
 		p.SamplerFactory, p.Workers, p.Ctx, p.OnSweep = factory, workers, ctx, onSweep
+		p.UQ = s.uqOptions()
 		// The Potts LUT depends only on the segment count and smoothness
 		// weight; dummy means of the right length give the same table.
 		prob := segment.BuildProblem(scene.Image, make([]float64, scene.Segments), p)
@@ -209,6 +269,9 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		res.Metrics["pri"] = r.Scores.PRI
 		res.Metrics["gce"] = r.Scores.GCE
 		res.Metrics["bde"] = r.Scores.BDE
+		if res.UQ, err = uqResult(r.UQ, r.Labeling, s, metrics); err != nil {
+			return nil, err
+		}
 	case AppIsing:
 		m := ising.DefaultModel()
 		m.N = s.N

@@ -15,6 +15,8 @@ package serve
 import (
 	"fmt"
 	"time"
+
+	"rsu/internal/uq"
 )
 
 // App names the four inference workloads the service accepts.
@@ -55,6 +57,18 @@ type JobSpec struct {
 	// CaptureLog returns the per-sweep mrf.RunLog JSONL records in the
 	// job result.
 	CaptureLog bool `json:"capture_log,omitempty"`
+	// UQ enables posterior sample collection (stereo / flow / segment only):
+	// the result carries confidence / entropy / disagreement statistics.
+	UQ bool `json:"uq,omitempty"`
+	// UQBurnIn is the number of sweeps discarded before collection. 0 (the
+	// JSON zero value) selects the default, half the run — an explicit
+	// zero-sweep burn-in is not expressible over the wire.
+	UQBurnIn int `json:"uq_burnin,omitempty"`
+	// UQThin collects every UQThin-th post-burn-in sweep (0 = every sweep).
+	UQThin int `json:"uq_thin,omitempty"`
+	// UQMarginals additionally inlines the full per-pixel marginal array in
+	// the result, subject to the service's inline size cap. Requires UQ.
+	UQMarginals bool `json:"uq_marginals,omitempty"`
 
 	// Segments is the segment count for the segment app (default 4).
 	Segments int `json:"segments,omitempty"`
@@ -146,7 +160,30 @@ func (s JobSpec) Validate() error {
 			return fmt.Errorf("serve: ising t, burn and measure must be non-negative")
 		}
 	}
+	if s.UQ && s.App == AppIsing {
+		return fmt.Errorf("serve: uq is not supported for the ising app (it reports sweep observables, not a labeling posterior)")
+	}
+	if s.UQMarginals && !s.UQ {
+		return fmt.Errorf("serve: uq_marginals requires uq")
+	}
+	if s.UQBurnIn < 0 || s.UQThin < 0 {
+		return fmt.Errorf("serve: uq_burnin and uq_thin must be non-negative")
+	}
 	return nil
+}
+
+// uqOptions maps the spec's UQ fields onto uq.Options for the app params,
+// nil when collection is off. The JSON zero burn-in selects the package
+// default (half the run), encoded as uq's negative sentinel.
+func (s JobSpec) uqOptions() *uq.Options {
+	if !s.UQ {
+		return nil
+	}
+	burn := s.UQBurnIn
+	if burn == 0 {
+		burn = -1
+	}
+	return &uq.Options{BurnIn: burn, Thin: s.UQThin}
 }
 
 // timeout resolves the per-job deadline from the spec and service bounds.

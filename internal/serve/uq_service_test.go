@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// uqSpec is a fast segment job with collection plus inline marginals.
+func uqSpec() JobSpec {
+	return JobSpec{
+		App: AppSegment, Dataset: "bsd01", Iterations: 6,
+		UQ: true, UQBurnIn: 2, UQThin: 1, UQMarginals: true,
+	}
+}
+
+// TestUQJobEndToEnd drives the HTTP job API with collection enabled and
+// checks the full response schema: summary fields, marginal shape and mass,
+// and the overhead metrics exported afterwards. Runs under -race in CI; the
+// goroutine baseline check catches collection-path leaks.
+func TestUQJobEndToEnd(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	svc := New(Config{Workers: 2, QueueCap: 4})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(uqSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	var res JobResult
+	decErr := json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close() // eagerly: the leak check below must see the conn idle
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if decErr != nil {
+		t.Fatalf("decode result: %v", decErr)
+	}
+	if res.UQ == nil {
+		t.Fatal("result has no uq block")
+	}
+	// 6 sweeps, burn-in 2, thin 1 → 4 collected samples.
+	if res.UQ.Samples != 4 || res.UQ.BurnIn != 2 || res.UQ.Thin != 1 {
+		t.Fatalf("uq policy: samples=%d burn_in=%d thin=%d, want 4/2/1",
+			res.UQ.Samples, res.UQ.BurnIn, res.UQ.Thin)
+	}
+	if res.UQ.MeanConfidence <= 0 || res.UQ.MeanConfidence > 1 ||
+		res.UQ.MinConfidence <= 0 || res.UQ.MinConfidence > res.UQ.MeanConfidence {
+		t.Fatalf("confidence summary out of range: %+v", res.UQ.Summary)
+	}
+	if res.UQ.MaxEntropyBits < res.UQ.MeanEntropyBits || res.UQ.MeanEntropyBits < 0 {
+		t.Fatalf("entropy summary out of range: %+v", res.UQ.Summary)
+	}
+	if res.UQ.Credible90MeanSize < 1 {
+		t.Fatalf("credible90 mean size %g < 1", res.UQ.Credible90MeanSize)
+	}
+	if res.UQ.W <= 0 || res.UQ.H <= 0 || res.UQ.Labels < 2 {
+		t.Fatalf("marginal shape %dx%d labels %d", res.UQ.W, res.UQ.H, res.UQ.Labels)
+	}
+	if res.UQ.MarginalsOmitted {
+		t.Fatal("marginals omitted for a small problem")
+	}
+	if want := res.UQ.W * res.UQ.H * res.UQ.Labels; len(res.UQ.Marginals) != want {
+		t.Fatalf("marginals length %d, want %d", len(res.UQ.Marginals), want)
+	}
+	L := res.UQ.Labels
+	for px := 0; px < res.UQ.W*res.UQ.H; px++ {
+		var sum float64
+		for _, p := range res.UQ.Marginals[px*L : px*L+L] {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("pixel %d marginal mass %g", px, sum)
+		}
+	}
+
+	// The collection overhead must show up in the Prometheus exposition.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	if !strings.Contains(metrics, "rsu_serve_uq_jobs_total 1") {
+		t.Errorf("metrics missing uq job counter:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, `rsu_serve_uq_collect_seconds_count{app="segment"} 1`) {
+		t.Errorf("metrics missing uq collection histogram:\n%s", metrics)
+	}
+
+	ts.Close() // idempotent; drops the test server's connection goroutines
+	shutdownOrFail(t, svc)
+	waitForGoroutines(t, baseline)
+}
+
+// TestUQSummaryOnlyOmitsMarginals: without uq_marginals the response carries
+// the summary but no marginal array, and a plain job carries no uq block at
+// all — the zero-cost default.
+func TestUQSummaryOnlyOmitsMarginals(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueCap: 4})
+	defer shutdownOrFail(t, svc)
+
+	spec := uqSpec()
+	spec.UQMarginals = false
+	job, err := svc.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res, status, jerr := job.Wait(context.Background())
+	if status != StatusOK {
+		t.Fatalf("status %v err %v", status, jerr)
+	}
+	if res.UQ == nil || res.UQ.Marginals != nil || res.UQ.MarginalsOmitted {
+		t.Fatalf("summary-only uq block wrong: %+v", res.UQ)
+	}
+
+	plain := uqSpec()
+	plain.UQ, plain.UQMarginals = false, false
+	job, err = svc.Submit(context.Background(), plain)
+	if err != nil {
+		t.Fatalf("Submit plain: %v", err)
+	}
+	res, status, jerr = job.Wait(context.Background())
+	if status != StatusOK {
+		t.Fatalf("plain status %v err %v", status, jerr)
+	}
+	if res.UQ != nil {
+		t.Fatalf("plain job grew a uq block: %+v", res.UQ)
+	}
+	if got := svc.Metrics().UQJobs.Load(); got != 1 {
+		t.Fatalf("UQJobs = %d, want 1 (plain job must not count)", got)
+	}
+}
+
+// TestUQValidationErrors pins the 400 mapping for bad UQ specs.
+func TestUQValidationErrors(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueCap: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer shutdownOrFail(t, svc)
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /jobs: %v", err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(raw)
+	}
+
+	for _, tc := range []struct {
+		name, body, wantErr string
+	}{
+		{"uq on ising", `{"app":"ising","uq":true}`, "not supported for the ising app"},
+		{"marginals without uq", `{"app":"segment","uq_marginals":true}`, "uq_marginals requires uq"},
+		{"negative burn-in", `{"app":"stereo","uq":true,"uq_burnin":-1}`, "must be non-negative"},
+		{"unknown uq field", `{"app":"stereo","uq":true,"uq_bogus":1}`, "unknown field"},
+	} {
+		code, body := post(tc.body)
+		if code != 400 || !strings.Contains(body, tc.wantErr) {
+			t.Errorf("%s: status %d body %q, want 400 containing %q", tc.name, code, body, tc.wantErr)
+		}
+	}
+}
+
+// TestUQBackpressureUnchanged: a UQ job over queue capacity still maps to
+// 429, and a drained service still answers 503 — collection must not touch
+// the admission path.
+func TestUQBackpressureUnchanged(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueCap: 1})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	blockCtx, cancelBlock := context.WithCancel(context.Background())
+	if _, err := svc.Submit(blockCtx, blockerSpec()); err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	waitInFlight(t, svc, 1)
+	if _, err := svc.Submit(context.Background(), quickSpec()); err != nil {
+		t.Fatalf("fill queue: %v", err)
+	}
+
+	body, _ := json.Marshal(uqSpec())
+	resp, err := ts.Client().Post(ts.URL+"/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 429 || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("status %d Retry-After %q, want 429 with Retry-After", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	cancelBlock()
+	shutdownOrFail(t, svc)
+	resp, err = ts.Client().Post(ts.URL+"/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("POST drained: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("drained status %d, want 503", resp.StatusCode)
+	}
+}

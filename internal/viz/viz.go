@@ -107,6 +107,32 @@ func Bars(labels []string, vals []float64, maxWidth int) string {
 	return b.String()
 }
 
+// Histogram renders the distribution of vals over `bins` equal-width bins
+// spanning [lo, hi] as labeled horizontal bars — the CLIs use it to show the
+// per-pixel confidence distribution of a UQ run at a glance.
+func Histogram(vals []float64, lo, hi float64, bins, maxWidth int) string {
+	if len(vals) == 0 || bins < 1 || hi <= lo {
+		return "(empty histogram)\n"
+	}
+	counts := make([]float64, bins)
+	labels := make([]string, bins)
+	span := hi - lo
+	for _, v := range vals {
+		idx := int((v - lo) / span * float64(bins))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= bins {
+			idx = bins - 1
+		}
+		counts[idx]++
+	}
+	for i := range labels {
+		labels[i] = fmt.Sprintf("[%.2f,%.2f)", lo+span*float64(i)/float64(bins), lo+span*float64(i+1)/float64(bins))
+	}
+	return Bars(labels, counts, maxWidth)
+}
+
 func abbrev(s string, n int) string {
 	if len(s) <= n {
 		return s
