@@ -6,7 +6,7 @@ FUZZTIME ?= 30s
 # Coverage floor for the uncertainty-quantification estimators (DESIGN.md §12).
 UQ_COVER_MIN ?= 85
 
-.PHONY: all build test vet race race-runtime verify fuzz fuzz-smoke check cover bench bench-once perf perf-check profile
+.PHONY: all build test vet race race-runtime verify fault-sweep fuzz fuzz-smoke check cover bench bench-once perf perf-check profile
 
 all: check
 
@@ -34,6 +34,15 @@ race-runtime:
 # Fails on any distribution non-conformance or golden drift.
 verify:
 	$(GO) run ./cmd/rsu-verify
+
+# Device-fault injection smoke (DESIGN.md §13): the compressed degradation
+# sweep plus the fault model's determinism suite, both under -race, so CI
+# proves the injection path is data-race-free and the one-command artifact
+# contract (fault_sweep.json + PGMs) holds.
+fault-sweep:
+	$(GO) test -race -count=1 -run TestFaultSweepArtifacts ./internal/experiments
+	$(GO) test -race -count=1 ./internal/fault
+	$(GO) test -race -count=1 -run 'TestFault|TestSPAD' ./internal/mrf ./internal/ret
 
 # Whole-tree coverage profile plus a hard floor on internal/uq: the UQ
 # estimators feed confidence numbers to users, so untested estimator math is

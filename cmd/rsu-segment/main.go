@@ -37,9 +37,11 @@ func main() {
 		out     = flag.String("out", "", "directory for PGM outputs")
 		ropt    runopt.Flags
 		uqf     runopt.UQFlags
+		faultf  runopt.FaultFlags
 	)
 	ropt.Register(flag.CommandLine)
 	uqf.Register(flag.CommandLine)
+	faultf.Register(flag.CommandLine)
 	flag.Parse()
 
 	p := segment.DefaultParams()
@@ -47,6 +49,10 @@ func main() {
 		p.Iterations = *iters
 	}
 	p.UQ = uqf.Options()
+	var err error
+	if p.Faults, err = faultf.Config(*sampler, *seed); err != nil {
+		log.Fatal(err)
+	}
 
 	build, err := core.SamplerBuilder(*sampler)
 	if err != nil {
@@ -92,6 +98,7 @@ func main() {
 	if err := runopt.ReportUQ(os.Stdout, res.UQ, res.Labeling, *out, scene.Name); err != nil {
 		log.Fatal(err)
 	}
+	runopt.ReportFaults(os.Stdout, res.Faults)
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

@@ -35,9 +35,11 @@ func main() {
 		out     = flag.String("out", "", "directory for PGM outputs")
 		ropt    runopt.Flags
 		uqf     runopt.UQFlags
+		faultf  runopt.FaultFlags
 	)
 	ropt.Register(flag.CommandLine)
 	uqf.Register(flag.CommandLine)
+	faultf.Register(flag.CommandLine)
 	flag.Parse()
 
 	var pair *synth.StereoPair
@@ -58,6 +60,10 @@ func main() {
 	}
 	ropt.Apply(&p.Schedule)
 	p.UQ = uqf.Options()
+	var err error
+	if p.Faults, err = faultf.Config(*sampler, *seed); err != nil {
+		log.Fatal(err)
+	}
 
 	build, err := core.SamplerBuilder(*sampler)
 	if err != nil {
@@ -84,6 +90,7 @@ func main() {
 	if err := runopt.ReportUQ(os.Stdout, res.UQ, res.Disparity, *out, pair.Name); err != nil {
 		log.Fatal(err)
 	}
+	runopt.ReportFaults(os.Stdout, res.Faults)
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

@@ -113,6 +113,18 @@ func main() {
 		fmt.Printf("golden: %d traces match\n", len(conformance.Scenarios()))
 	}
 
+	// The zero-fault invariant: re-run every golden scenario with a
+	// zero-rate device-fault injection attached; the traces must not move
+	// by a byte (see conformance.VerifyGoldenZeroFault).
+	errs = conformance.VerifyGoldenZeroFault(*goldenDir)
+	for _, err := range errs {
+		failed = true
+		fmt.Fprintln(os.Stderr, "rsu-verify:", err)
+	}
+	if len(errs) == 0 {
+		fmt.Printf("golden (zero-fault injection): %d traces match\n", len(conformance.Scenarios()))
+	}
+
 	if failed {
 		os.Exit(1)
 	}

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"rsu/internal/core"
+	"rsu/internal/fault"
 	"rsu/internal/img"
 	"rsu/internal/metrics"
 	"rsu/internal/mrf"
@@ -63,6 +64,11 @@ type Params struct {
 	// ignores it — its per-level problems have different shapes, so a single
 	// accumulator cannot span the run.
 	UQ *uq.Options
+	// Faults, when non-nil, injects the device-fault model into the
+	// hardware samplers in Solve (see fault.Config); the Result then
+	// carries a fault.Report with the UQ-based degradation verdict when UQ
+	// also ran. The pyramid solver ignores it for the same reason as UQ.
+	Faults *fault.Config
 }
 
 // ctx resolves the solve context.
@@ -126,6 +132,9 @@ type Result struct {
 	// UQ holds the posterior marginal estimates when Params.UQ enabled
 	// collection; nil otherwise.
 	UQ *uq.Result
+	// Faults summarizes the injected device faults (and the UQ-based
+	// degradation verdict) when Params.Faults requested injection.
+	Faults *fault.Report
 }
 
 // Solve runs the MRF solver on the frame pair with the given sampler and
@@ -153,6 +162,11 @@ func Solve(pair *synth.FlowPair, sampler core.LabelSampler, p Params) (*Result, 
 		}
 		opts.Collector = acc
 	}
+	inj, err := fault.New(p.Faults)
+	if err != nil {
+		return nil, err
+	}
+	opts.Faults = inj
 	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory, p.Schedule, opts)
 	if err != nil {
 		return nil, err
@@ -171,6 +185,13 @@ func Solve(pair *synth.FlowPair, sampler core.LabelSampler, p Params) (*Result, 
 	if acc != nil {
 		if res.UQ, err = acc.Estimate(); err != nil {
 			return nil, err
+		}
+	}
+	if inj != nil {
+		if res.UQ != nil {
+			res.Faults = inj.Report(res.UQ.MeanConfidence(), true)
+		} else {
+			res.Faults = inj.Report(0, false)
 		}
 	}
 	return res, nil

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"rsu/internal/core"
+	"rsu/internal/fault"
 	"rsu/internal/img"
 	"rsu/internal/mrf"
 	"rsu/internal/rng"
@@ -56,6 +57,11 @@ type Model struct {
 	// runs with the same J (see mrf.BuildTablesShared). The serving layer's
 	// artifact cache populates this.
 	PairLUT *mrf.PairLUT
+	// Faults, when non-nil, injects the device-fault model into the
+	// hardware samplers (see fault.Config); Observables then carry a
+	// fault.Report. Ising has no labeling posterior, so the report never
+	// sets the UQ-based Degraded flag.
+	Faults *fault.Config
 }
 
 // DefaultModel returns a 32x32 lattice with J = 16, h = 0.
@@ -110,6 +116,9 @@ type Observables struct {
 	// Energy is the coupling energy per spin, in units of J (in [-2, 0]
 	// for h = 0 with free boundaries).
 	Energy float64
+	// Faults summarizes the injected device faults when Model.Faults
+	// requested injection; nil otherwise.
+	Faults *fault.Report
 }
 
 // Run performs `burn` discard sweeps and `measure` measured sweeps of
@@ -145,6 +154,11 @@ func (m Model) Run(s core.LabelSampler, T float64, burn, measure int, seed uint6
 		Init:    init,
 		Workers: m.Workers,
 	}
+	inj, err := fault.New(m.Faults)
+	if err != nil {
+		return Observables{}, err
+	}
+	opts.Faults = inj
 	if m.PairLUT != nil {
 		tab, err := prob.BuildTablesShared(m.PairLUT)
 		if err != nil {
@@ -163,13 +177,16 @@ func (m Model) Run(s core.LabelSampler, T float64, burn, measure int, seed uint6
 			m.OnSweep(iter, lab, st)
 		}
 	}
-	_, err := mrf.SolveWithCtx(ctx, prob, s, m.SamplerFactory,
+	_, err = mrf.SolveWithCtx(ctx, prob, s, m.SamplerFactory,
 		mrf.Schedule{T0: T * m.J, Alpha: 1, Iterations: burn + measure}, opts)
 	if err != nil {
 		return Observables{}, err
 	}
 	obs.Magnetization /= float64(count)
 	obs.Energy /= float64(count)
+	if inj != nil {
+		obs.Faults = inj.Report(0, false)
+	}
 	return obs, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"rsu/internal/core"
+	"rsu/internal/fault"
 	"rsu/internal/img"
 	"rsu/internal/metrics"
 	"rsu/internal/mrf"
@@ -56,6 +57,10 @@ type Params struct {
 	// carries the marginal / confidence estimates. Collection never perturbs
 	// the solve (see mrf.Collector).
 	UQ *uq.Options
+	// Faults, when non-nil, injects the device-fault model into the
+	// hardware samplers (see fault.Config); the Result then carries a
+	// fault.Report with the UQ-based degradation verdict when UQ also ran.
+	Faults *fault.Config
 }
 
 // ctx resolves the solve context.
@@ -154,6 +159,9 @@ type Result struct {
 	// UQ holds the posterior marginal estimates when Params.UQ enabled
 	// collection; nil otherwise.
 	UQ *uq.Result
+	// Faults summarizes the injected device faults (and the UQ-based
+	// degradation verdict) when Params.Faults requested injection.
+	Faults *fault.Report
 }
 
 // Solve segments the scene's image into scene.Segments segments using the
@@ -193,6 +201,11 @@ func Solve(scene *synth.SegScene, sampler core.LabelSampler, p Params) (*Result,
 		}
 		opts.Collector = acc
 	}
+	inj, err := fault.New(p.Faults)
+	if err != nil {
+		return nil, err
+	}
+	opts.Faults = inj
 	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory,
 		mrf.Schedule{T0: p.Temperature, Alpha: 1, Iterations: p.Iterations}, opts)
 	if err != nil {
@@ -206,6 +219,13 @@ func Solve(scene *synth.SegScene, sampler core.LabelSampler, p Params) (*Result,
 	if acc != nil {
 		if res.UQ, err = acc.Estimate(); err != nil {
 			return nil, err
+		}
+	}
+	if inj != nil {
+		if res.UQ != nil {
+			res.Faults = inj.Report(res.UQ.MeanConfidence(), true)
+		} else {
+			res.Faults = inj.Report(0, false)
 		}
 	}
 	return res, nil

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"rsu/internal/core"
+	"rsu/internal/fault"
 	"rsu/internal/img"
 	"rsu/internal/metrics"
 	"rsu/internal/mrf"
@@ -57,6 +58,12 @@ type Params struct {
 	// carries the marginal / confidence estimates. Collection never perturbs
 	// the solve (see mrf.Collector).
 	UQ *uq.Options
+	// Faults, when non-nil, injects the device-fault model into the
+	// hardware samplers (see fault.Config). The Result then carries a
+	// fault.Report; when UQ is also enabled, a confidence collapse below
+	// fault.DegradedConfidence marks the run Degraded. nil — or all-zero
+	// rates — leaves the solve byte-identical to the ideal device.
+	Faults *fault.Config
 }
 
 // ctx resolves the solve context.
@@ -120,6 +127,9 @@ type Result struct {
 	// UQ holds the posterior marginal estimates when Params.UQ enabled
 	// collection; nil otherwise.
 	UQ *uq.Result
+	// Faults summarizes the injected device faults (and the UQ-based
+	// degradation verdict) when Params.Faults requested injection.
+	Faults *fault.Report
 }
 
 // texturelessVarianceCutoff is the 3x3 local-variance threshold below which
@@ -147,6 +157,11 @@ func Solve(pair *synth.StereoPair, sampler core.LabelSampler, p Params) (*Result
 		}
 		opts.Collector = acc
 	}
+	inj, err := fault.New(p.Faults)
+	if err != nil {
+		return nil, err
+	}
+	opts.Faults = inj
 	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory, p.Schedule, opts)
 	if err != nil {
 		return nil, err
@@ -161,6 +176,13 @@ func Solve(pair *synth.StereoPair, sampler core.LabelSampler, p Params) (*Result
 	if acc != nil {
 		if res.UQ, err = acc.Estimate(); err != nil {
 			return nil, err
+		}
+	}
+	if inj != nil {
+		if res.UQ != nil {
+			res.Faults = inj.Report(res.UQ.MeanConfidence(), true)
+		} else {
+			res.Faults = inj.Report(0, false)
 		}
 	}
 	return res, nil

@@ -12,6 +12,7 @@ import (
 	"rsu/internal/apps/segment"
 	"rsu/internal/apps/stereo"
 	"rsu/internal/core"
+	"rsu/internal/fault"
 	"rsu/internal/img"
 	"rsu/internal/mrf"
 	"rsu/internal/rng"
@@ -91,6 +92,25 @@ func (s Scenario) Run() (*Trace, error) { return s.RunWithCollector(nil) }
 // contract says collection is observation only — and the UQ regression tests
 // gate exactly that by re-running every scenario through this entry point.
 func (s Scenario) RunWithCollector(c mrf.Collector) (*Trace, error) {
+	return s.RunWithOptions(c, nil)
+}
+
+// RunZeroFault is Run with a zero-rate fault injection attached to every
+// sampler. The fault contract says a zero-rate injector draws nothing and
+// changes nothing, so the trace must stay byte-identical to the checked-in
+// golden — the zero-fault invariant VerifyGoldenZeroFault and rsu-verify
+// gate.
+func (s Scenario) RunZeroFault() (*Trace, error) {
+	inj, err := fault.New(&fault.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return s.RunWithOptions(nil, inj)
+}
+
+// RunWithOptions executes the scenario with an optional collector and fault
+// injection attached; both nil reproduces Run exactly.
+func (s Scenario) RunWithOptions(c mrf.Collector, inj *fault.Injection) (*Trace, error) {
 	prob, sched, init, err := goldenProblem(s.App)
 	if err != nil {
 		return nil, err
@@ -103,6 +123,7 @@ func (s Scenario) RunWithCollector(c mrf.Collector) (*Trace, error) {
 		Init:      init,
 		Workers:   s.Workers,
 		Collector: c,
+		Faults:    inj,
 		// The trace pins the historical byte format: keep evaluating the
 		// energy through Problem.TotalEnergy rather than trusting
 		// SolveStats.Energy, so the golden bytes cannot drift with the
@@ -170,6 +191,32 @@ func VerifyGolden(dir string) []error {
 		}
 		if got := tr.Encode(); !bytes.Equal(got, want) {
 			errs = append(errs, fmt.Errorf("conformance: golden %s drifted at byte %d (run with -update-golden if the change is intended)",
+				s.File(), firstDiff(got, want)))
+		}
+	}
+	return errs
+}
+
+// VerifyGoldenZeroFault re-runs every scenario with a zero-rate fault
+// injection attached to the samplers and compares byte-for-byte against the
+// same golden files. This is the zero-fault invariant of the device-fault
+// layer: an attached injector whose rates are all zero must not perturb a
+// single label draw on any solver path at any worker count.
+func VerifyGoldenZeroFault(dir string) []error {
+	var errs []error
+	for _, s := range Scenarios() {
+		tr, err := s.RunZeroFault()
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		want, err := os.ReadFile(filepath.Join(dir, s.File()))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("conformance: golden %s missing (regenerate with -update-golden): %w", s.File(), err))
+			continue
+		}
+		if got := tr.Encode(); !bytes.Equal(got, want) {
+			errs = append(errs, fmt.Errorf("conformance: zero-fault injection perturbed golden %s at byte %d — the fault layer drew from or disturbed the label stream",
 				s.File(), firstDiff(got, want)))
 		}
 	}

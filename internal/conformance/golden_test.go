@@ -134,3 +134,13 @@ func TestGoldenFilesPresent(t *testing.T) {
 		t.Errorf("golden matrix has %d scenarios, want 12 (4 apps x 3 worker counts)", n)
 	}
 }
+
+// TestGoldenZeroFault is the zero-fault invariant gate in test form: every
+// scenario re-run with a zero-rate device-fault injection attached to its
+// samplers must reproduce the checked-in golden byte for byte (rsu-verify
+// runs the same check).
+func TestGoldenZeroFault(t *testing.T) {
+	for _, err := range VerifyGoldenZeroFault(goldenDir) {
+		t.Error(err)
+	}
+}

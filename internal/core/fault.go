@@ -1,0 +1,46 @@
+package core
+
+// FaultInjector is the device-fault hook of the binned sampling path. When
+// one is attached to a Unit, PerturbBins is invoked once per evaluation with
+// the freshly drawn per-label TTF bins — after the draw stage and before the
+// first-to-fire selection — exactly where a physical RSU-G's non-idealities
+// (bleed-through photons, SPAD dark counts, stuck replica rows, quantum-yield
+// drift) corrupt the race. bin 0 means "label did not fire"; window is the
+// detection window length in fine time bins (2^Time_bits).
+//
+// The contract that keeps the solver's conformance guarantees intact:
+//
+//   - Implementations MUST draw randomness only from their own dedicated
+//     source (see StreamSeed), never from the Unit's source. The label
+//     stream's draw order is pinned by golden traces; a single stray draw
+//     breaks bit-exactness everywhere.
+//   - An injector whose fault rates are all zero MUST leave bins untouched
+//     and draw nothing, so a zero-rate injection is byte-identical to no
+//     injection at all (the zero-fault invariant gated by rsu-verify).
+//   - PerturbBins runs on the Unit's goroutine; one injector per Unit, no
+//     internal locking needed.
+//
+// Faults apply to the binned device pipeline only (TimeBits > 0): the
+// continuous-time float configurations are ideal-math references with no
+// device to fault, and the software sampler has no optical stage at all.
+type FaultInjector interface {
+	PerturbBins(bins []int, window int)
+}
+
+// FaultInjectable is implemented by samplers that can host a FaultInjector
+// (the hardware Unit). The solver layer uses it to attach per-worker fault
+// models without knowing the concrete sampler type; samplers that model no
+// device (SoftwareSampler) simply do not implement it.
+type FaultInjectable interface {
+	// SetFaultInjector installs f as the device-fault hook; nil detaches it
+	// and restores the ideal sampling path.
+	SetFaultInjector(f FaultInjector)
+}
+
+// SetFaultInjector installs (or, with nil, removes) the device-fault hook.
+// See FaultInjector for the contract.
+func (u *Unit) SetFaultInjector(f FaultInjector) { u.fault = f }
+
+// FaultInjector returns the currently attached hook, nil when the Unit runs
+// the ideal pipeline.
+func (u *Unit) FaultInjector() FaultInjector { return u.fault }

@@ -107,6 +107,12 @@ type Unit struct {
 	// SetTemperature (see ConverterCache).
 	convCache *ConverterCache
 
+	// fault, when non-nil, perturbs the drawn per-label TTF bins between the
+	// draw stage and first-to-fire selection — the device-fault injection
+	// hook (see FaultInjector). nil, the default, is the ideal device: the
+	// selection path is untouched and bit-exact.
+	fault FaultInjector
+
 	// scratch buffers reused across Sample calls (Unit is single-threaded).
 	effBuf   []float64
 	codeBuf  []int
@@ -759,8 +765,13 @@ func (u *Unit) drawBinCode(code int) int {
 }
 
 // selectBin implements the selection stage: smallest bin wins; bin 0 means
-// "did not fire". Ties follow the configured policy.
+// "did not fire". Ties follow the configured policy. Every binned sampling
+// kernel (fast and legacy) funnels through here, so the fault hook sees each
+// evaluation exactly once regardless of kernel selection.
 func (u *Unit) selectBin(bins []int, current int) int {
+	if u.fault != nil {
+		u.fault.PerturbBins(bins, u.tmax)
+	}
 	best := -1
 	bestBin := math.MaxInt
 	tied := 1

@@ -183,6 +183,7 @@ func Registry() []Runner {
 		{"ext-mixing", "Extension: MCMC mixing diagnostics across samplers", func(o Options) (fmt.Stringer, error) { return Mixing(o) }},
 		{"ext-rng", "Extension: RNG statistical battery and LFSR period exposure", func(o Options) (fmt.Stringer, error) { return RNGBattery(o) }},
 		{"ext-ising", "Extension: 2-D Ising magnetization across the phase transition", func(o Options) (fmt.Stringer, error) { return Ising(o) }},
+		{"fault-sweep", "Extension: result quality vs injected device-fault rate", func(o Options) (fmt.Stringer, error) { return FaultSweep(o) }},
 	}
 }
 

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rsu/internal/apps/stereo"
+	"rsu/internal/core"
+	"rsu/internal/fault"
+	"rsu/internal/img"
+	"rsu/internal/rng"
+	"rsu/internal/synth"
+	"rsu/internal/uq"
+)
+
+// FaultPoint is one cell of the degradation sweep: stereo quality and
+// posterior confidence at a single (fault type, rate) design point.
+type FaultPoint struct {
+	Fault string  `json:"fault"`
+	Rate  float64 `json:"rate"`
+	BP    float64 `json:"bp"`
+	RMS   float64 `json:"rms"`
+	// MeanConfidence is the UQ posterior mean confidence of the run;
+	// Degraded is the fault layer's verdict against its threshold.
+	MeanConfidence float64 `json:"mean_confidence"`
+	Degraded       bool    `json:"degraded"`
+	// Injected counts the label outcomes the faults actually changed.
+	Injected int64 `json:"injected_events"`
+}
+
+// FaultSweepResult holds the device-degradation study: one-at-a-time fault
+// rate sweeps on the teddy stereo instance, anchored by a zero-fault
+// baseline. Files lists the JSON and PGM artifacts written to OutDir.
+type FaultSweepResult struct {
+	Dataset  string       `json:"dataset"`
+	Baseline FaultPoint   `json:"baseline"`
+	Points   []FaultPoint `json:"points"`
+	Files    []string     `json:"-"`
+}
+
+// faultGrid is the one-at-a-time sweep: each fault type at three rates
+// spanning "barely measurable" to "clearly destructive" for the small
+// evaluation instances (paper Secs. II-B and IV-B discuss the underlying
+// device mechanisms).
+var faultGrid = []struct {
+	name  string
+	rates []float64
+	cfg   func(rate float64) fault.Config
+}{
+	{"bleed", []float64{0.02, 0.1, 0.5},
+		func(r float64) fault.Config { return fault.Config{BleedThrough: r} }},
+	{"dark", []float64{1e-5, 1e-3, 1e-1},
+		func(r float64) fault.Config { return fault.Config{DarkCountPerBin: r} }},
+	{"stuck", []float64{0.125, 0.25, 0.5},
+		func(r float64) fault.Config { return fault.Config{StuckRow: r} }},
+	{"drift", []float64{1e-5, 1e-4, 1e-3},
+		func(r float64) fault.Config { return fault.Config{Drift: r} }},
+}
+
+// FaultSweep measures result quality versus injected device-fault rate: for
+// each fault type in the model — bleed-through, dark counts, stuck rows,
+// drift — it solves the teddy stereo instance on the new RSU-G at increasing
+// rates, with posterior collection on so each point also reports the UQ
+// confidence the mitigation path thresholds. With OutDir set it writes the
+// full sweep as fault_sweep.json plus disparity PGMs for the baseline and
+// each fault type's highest rate.
+func FaultSweep(o Options) (*FaultSweepResult, error) {
+	pair := synth.Teddy(o.scale())
+	res := &FaultSweepResult{Dataset: pair.Name}
+
+	type cell struct {
+		point FaultPoint
+		disp  *img.Labels
+	}
+	run := func(cfg *fault.Config, tag string) (cell, error) {
+		p := stereoParams(o)
+		p.UQ = &uq.Options{BurnIn: -1}
+		p.Faults = cfg
+		u := core.MustUnit(core.NewRSUG(), rng.NewXoshiro256(o.subSeed(tag)), true)
+		r, err := stereo.Solve(pair, u, p)
+		if err != nil {
+			return cell{}, err
+		}
+		c := cell{point: FaultPoint{BP: r.BP, RMS: r.RMS}, disp: r.Disparity}
+		if r.Faults != nil {
+			c.point.MeanConfidence = r.Faults.MeanConfidence
+			c.point.Degraded = r.Faults.Degraded
+			c.point.Injected = r.Faults.Stats.Injected()
+		} else if r.UQ != nil {
+			c.point.MeanConfidence = r.UQ.MeanConfidence()
+		}
+		return c, nil
+	}
+
+	// Flatten the grid so forEach can fan the design points across workers;
+	// index 0 is the zero-fault baseline.
+	type task struct {
+		fault string
+		rate  float64
+	}
+	tasks := []task{{"none", 0}}
+	for _, g := range faultGrid {
+		for _, r := range g.rates {
+			tasks = append(tasks, task{g.name, r})
+		}
+	}
+	cells := make([]cell, len(tasks))
+	err := o.forEach(len(tasks), func(i int) error {
+		t := tasks[i]
+		var cfg *fault.Config
+		tag := "fault-sweep-base"
+		if t.fault != "none" {
+			for _, g := range faultGrid {
+				if g.name == t.fault {
+					c := g.cfg(t.rate)
+					c.Seed = o.subSeed(fmt.Sprintf("fault-sweep-%s-%g", t.fault, t.rate))
+					cfg = &c
+				}
+			}
+			tag = fmt.Sprintf("fault-sweep-%s-%g", t.fault, t.rate)
+		}
+		c, err := run(cfg, tag)
+		if err != nil {
+			return err
+		}
+		c.point.Fault, c.point.Rate = t.fault, t.rate
+		cells[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Baseline = cells[0].point
+	for _, c := range cells[1:] {
+		res.Points = append(res.Points, c.point)
+	}
+
+	if o.OutDir != "" {
+		if err := os.MkdirAll(o.OutDir, 0o755); err != nil {
+			return nil, err
+		}
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		jsonPath := filepath.Join(o.OutDir, "fault_sweep.json")
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		res.Files = append(res.Files, jsonPath)
+		// Disparity maps: the clean baseline and each fault type at its
+		// highest (most visibly damaged) rate.
+		max := pair.Labels - 1
+		maps := map[string]*img.Labels{"fault_baseline.pgm": cells[0].disp}
+		for i, t := range tasks {
+			if i > 0 && t.rate == faultGrid[gridIndex(t.fault)].rates[len(faultGrid[gridIndex(t.fault)].rates)-1] {
+				maps[fmt.Sprintf("fault_%s.pgm", t.fault)] = cells[i].disp
+			}
+		}
+		names := make([]string, 0, len(maps))
+		for n := range maps {
+			names = append(names, n)
+		}
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				if names[j] < names[i] {
+					names[i], names[j] = names[j], names[i]
+				}
+			}
+		}
+		for _, n := range names {
+			path := filepath.Join(o.OutDir, n)
+			if err := img.SavePGM(path, maps[n].ToGray(max)); err != nil {
+				return nil, err
+			}
+			res.Files = append(res.Files, path)
+		}
+	}
+	return res, nil
+}
+
+// gridIndex returns the faultGrid row for a fault name (-1 if unknown).
+func gridIndex(name string) int {
+	for i, g := range faultGrid {
+		if g.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *FaultSweepResult) String() string {
+	t := &table{
+		title:   fmt.Sprintf("Fault sweep: %s quality vs injected device-fault rate", r.Dataset),
+		columns: []string{"BP%", "RMS", "conf", "injected"},
+		prec:    3,
+	}
+	add := func(p FaultPoint) {
+		name := p.Fault
+		if p.Rate > 0 {
+			name = fmt.Sprintf("%s @ %g", p.Fault, p.Rate)
+		}
+		if p.Degraded {
+			name += " [DEGRADED]"
+		}
+		t.add(name, p.BP, p.RMS, p.MeanConfidence, float64(p.Injected))
+	}
+	add(r.Baseline)
+	for _, p := range r.Points {
+		add(p)
+	}
+	t.notes = append(t.notes,
+		"one fault type at a time on the new RSU-G; conf is the UQ posterior mean confidence",
+		fmt.Sprintf("[DEGRADED] marks runs whose confidence fell below the fault layer's %.2f threshold", fault.DegradedConfidence))
+	var b strings.Builder
+	b.WriteString(t.String())
+	for _, f := range r.Files {
+		fmt.Fprintf(&b, "  wrote %s\n", f)
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFaultSweepArtifacts runs the degradation sweep on a compressed
+// schedule and checks the one-command contract: the JSON artifact exists and
+// parses back into the sweep shape, the PGMs exist, and the sweep covers
+// every fault type in the model plus the zero-fault baseline.
+func TestFaultSweepArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	res, err := FaultSweep(Options{Seed: 3, IterScale: 0.02, OutDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Baseline.Fault != "none" || res.Baseline.Rate != 0 {
+		t.Errorf("baseline point = %+v, want fault none at rate 0", res.Baseline)
+	}
+	seen := map[string]int{}
+	for _, p := range res.Points {
+		seen[p.Fault]++
+		if p.Rate <= 0 {
+			t.Errorf("sweep point %s has non-positive rate %g", p.Fault, p.Rate)
+		}
+	}
+	for _, g := range faultGrid {
+		if seen[g.name] != len(g.rates) {
+			t.Errorf("fault %s: %d points, want %d", g.name, seen[g.name], len(g.rates))
+		}
+	}
+
+	blob, err := os.ReadFile(filepath.Join(dir, "fault_sweep.json"))
+	if err != nil {
+		t.Fatalf("JSON artifact: %v", err)
+	}
+	var back FaultSweepResult
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("JSON artifact does not parse: %v", err)
+	}
+	if len(back.Points) != len(res.Points) {
+		t.Errorf("round-tripped %d points, want %d", len(back.Points), len(res.Points))
+	}
+
+	for _, name := range []string{
+		"fault_baseline.pgm", "fault_bleed.pgm", "fault_dark.pgm",
+		"fault_stuck.pgm", "fault_drift.pgm",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("PGM artifact %s: %v", name, err)
+		}
+	}
+
+	if len(res.String()) < 20 {
+		t.Error("suspiciously short rendering")
+	}
+}

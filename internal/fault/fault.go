@@ -1,0 +1,282 @@
+// Package fault models the RSU-G's device-level non-idealities as a
+// pluggable injection layer over the binned sampling path (paper Secs. II-B,
+// IV-B): per-draw bleed-through from residual RET excitation (reusing the
+// ret.Network emission machinery and the replica-row reuse schedule of
+// ret.Circuit), SPAD dark-count races (reusing ret.SPAD.Detect), stuck
+// replica rows (dead waveguides / QDLEDs), and slow multiplicative
+// concentration/QDLED drift (photobleaching).
+//
+// Every fault draws from its own deterministic RNG stream derived through
+// core.StreamSeed, so fault randomness never perturbs the label-sampling
+// stream: with all rates zero (or no injection at all) every solver path is
+// byte-identical to the checked-in golden traces — the zero-fault invariant
+// gated by rsu-verify.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"rsu/internal/core"
+	"rsu/internal/ret"
+	"rsu/internal/rng"
+)
+
+// Config is the per-fault-type rate set. The zero value is the ideal device:
+// Active() is false and an attached model with this config draws nothing and
+// changes nothing.
+type Config struct {
+	// BleedThrough is the per-evaluation probability that the replica row
+	// scheduled for the window still carries residual excitation from an
+	// unobserved earlier activation. When it triggers, the row's lambda_0
+	// network is (re-)excited in the previous window and its emission — if it
+	// survives into the current window, which follows the RET decay physics
+	// of ret.Network — contaminates one uniformly chosen label's detector.
+	BleedThrough float64 `json:"bleed_through,omitempty"`
+	// DarkCountPerBin is the SPAD dark-count probability rate per fine time
+	// bin. Each label's photon races the dark process through ret.SPAD.Detect;
+	// a dark count that strictly precedes the photon replaces it (ties go to
+	// the photon — see ret.SPAD.Detect's tie policy).
+	DarkCountPerBin float64 `json:"dark_count_per_bin,omitempty"`
+	// StuckRow is the probability that any given replica row is stuck (dead
+	// QDLED or waveguide), decided once per row when the model is built.
+	// Evaluations scheduled onto a stuck row observe no photons at all; only
+	// dark counts can still fire.
+	StuckRow float64 `json:"stuck_row,omitempty"`
+	// Drift is the multiplicative quantum-yield fraction lost per evaluation
+	// window (photobleaching, Sec. IV-D). Decayed yield stretches every TTF
+	// by 1/yield — an exponential with rate scaled by y has its draws scaled
+	// by 1/y — so late draws truncate more and more often.
+	Drift float64 `json:"drift,omitempty"`
+	// Seed seeds the dedicated fault RNG streams (one per solver worker via
+	// core.StreamSeed, salted so a fault stream never collides with the label
+	// stream of the same base seed). 0 is a valid seed.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Active reports whether any fault rate is positive. An inactive config is
+// the ideal device.
+func (c Config) Active() bool {
+	return c.BleedThrough > 0 || c.DarkCountPerBin > 0 || c.StuckRow > 0 || c.Drift > 0
+}
+
+// Validate reports rate errors a caller can fix.
+func (c Config) Validate() error {
+	check := func(name string, v float64, probability bool) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("fault: %s must be finite and non-negative, got %v", name, v)
+		}
+		if probability && v > 1 {
+			return fmt.Errorf("fault: %s is a probability, got %v > 1", name, v)
+		}
+		return nil
+	}
+	if err := check("bleed_through", c.BleedThrough, true); err != nil {
+		return err
+	}
+	if err := check("dark_count_per_bin", c.DarkCountPerBin, false); err != nil {
+		return err
+	}
+	if err := check("stuck_row", c.StuckRow, true); err != nil {
+		return err
+	}
+	if c.Drift < 0 || c.Drift >= 1 || math.IsNaN(c.Drift) {
+		return fmt.Errorf("fault: drift must be in [0,1), got %v", c.Drift)
+	}
+	return nil
+}
+
+// Stats counts injected fault events, one counter per fault type. Counters
+// are summable across per-worker models (see Injection.Stats).
+type Stats struct {
+	// Evaluations is the number of perturbed draw stages observed.
+	Evaluations int64 `json:"evaluations"`
+	// BleedChecks / BleedThrough count residual-excitation trials and the
+	// stale photons that actually landed in a window and won a label's race.
+	BleedChecks  int64 `json:"bleed_checks"`
+	BleedThrough int64 `json:"bleed_through"`
+	// DarkCounts is the number of dark-count events that decided a label
+	// (fired on a silent detector or strictly preceded the photon).
+	DarkCounts int64 `json:"dark_counts"`
+	// StuckWindows counts evaluations scheduled onto a stuck replica row.
+	StuckWindows int64 `json:"stuck_windows"`
+	// DriftTruncations counts photons pushed past the window by yield decay.
+	DriftTruncations int64 `json:"drift_truncations"`
+	// MinYield is the lowest surviving quantum-yield fraction (1 when drift
+	// is off). Aggregation takes the minimum, not the sum.
+	MinYield float64 `json:"min_yield"`
+}
+
+// add folds o into s (counters sum, MinYield takes the min).
+func (s *Stats) add(o Stats) {
+	s.Evaluations += o.Evaluations
+	s.BleedChecks += o.BleedChecks
+	s.BleedThrough += o.BleedThrough
+	s.DarkCounts += o.DarkCounts
+	s.StuckWindows += o.StuckWindows
+	s.DriftTruncations += o.DriftTruncations
+	if o.MinYield < s.MinYield {
+		s.MinYield = o.MinYield
+	}
+}
+
+// Injected is the total number of label outcomes the faults changed.
+func (s Stats) Injected() int64 {
+	return s.BleedThrough + s.DarkCounts + s.StuckWindows + s.DriftTruncations
+}
+
+// minYield floors the surviving quantum yield so decay rates stay positive
+// (ret.Network.Excite rejects non-positive rates) no matter how long a
+// drifting run is.
+const minYield = 1e-9
+
+// Model is one worker's fault state: a dedicated RNG stream, the replica-row
+// schedule, per-row residual networks, per-row stuck flags, and the drifting
+// yield. It implements core.FaultInjector; attach at most one Model per Unit
+// (it is single-goroutine state, like the Unit itself).
+type Model struct {
+	cfg Config
+	src rng.Source
+
+	// circuit supplies the replica-row constants: row count and base decay
+	// rate follow ret.NewDesignCircuit, with the window rebound to the
+	// sampler's actual 2^Time_bits bins on first use.
+	circuit ret.CircuitConfig
+	spad    ret.SPAD
+	nets    []*ret.Network
+	stuck   []bool
+
+	window  int64 // evaluation counter = window index (row = window % rows)
+	winBins int   // bound window length; 0 until the first PerturbBins
+	yield   float64
+
+	stats Stats
+}
+
+// NewModel builds one worker's fault model over its dedicated source. The
+// stuck-row lottery draws here (once per row, only when StuckRow > 0), so a
+// model's stuck set is fixed for its lifetime like a manufactured defect.
+func NewModel(cfg Config, src rng.Source) *Model {
+	m := &Model{
+		cfg:     cfg,
+		src:     src,
+		circuit: ret.NewDesignCircuit(),
+		spad:    ret.SPAD{DarkCountPerBin: cfg.DarkCountPerBin},
+		yield:   1,
+	}
+	m.stats.MinYield = 1
+	m.nets = make([]*ret.Network, m.circuit.Rows)
+	m.stuck = make([]bool, m.circuit.Rows)
+	for r := range m.nets {
+		m.nets[r] = ret.NewNetwork(1)
+		if cfg.StuckRow > 0 {
+			m.stuck[r] = rng.Float64(src) < cfg.StuckRow
+		}
+	}
+	return m
+}
+
+// Stats returns the model's accumulated counters.
+func (m *Model) Stats() Stats { return m.stats }
+
+// Yield returns the surviving quantum-yield fraction in (0, 1].
+func (m *Model) Yield() float64 { return m.yield }
+
+// bind fixes the model's window length to the sampler's and derives the base
+// decay rate the same way ret.NewDesignCircuit does for its window: lambda_0
+// chosen for Truncation 0.5, i.e. ln2 / window per bin.
+func (m *Model) bind(window int) {
+	m.winBins = window
+	m.circuit.WindowBins = int64(window)
+	m.circuit.BaseRate = math.Ln2 / float64(window)
+}
+
+// PerturbBins corrupts one evaluation's per-label TTF bins in device order:
+// yield drift (stretches every photon), stuck rows (suppress all photons),
+// bleed-through (a stale photon may pre-empt one label), then dark counts
+// (race every label's detector). All randomness comes from the model's own
+// stream, in a fixed order, so faulted runs are reproducible per seed and
+// bit-invariant across executor counts. With all rates zero this draws
+// nothing and changes nothing.
+func (m *Model) PerturbBins(bins []int, window int) {
+	m.stats.Evaluations++
+	if window <= 0 || len(bins) == 0 {
+		return
+	}
+	if m.winBins != window {
+		m.bind(window)
+	}
+	w := m.window
+	m.window++
+	row := int(w % int64(m.circuit.Rows))
+	now := w * int64(window)
+	to := now + int64(window)
+
+	if m.cfg.Drift > 0 {
+		m.yield *= 1 - m.cfg.Drift
+		if m.yield < minYield {
+			m.yield = minYield
+		}
+		m.stats.MinYield = m.yield
+	}
+
+	rowStuck := m.stuck[row]
+	if rowStuck {
+		m.stats.StuckWindows++
+		for i := range bins {
+			bins[i] = 0
+		}
+	} else if m.cfg.Drift > 0 && m.yield < 1 {
+		// A yield-decayed rate y*lambda scales every exponential TTF by 1/y;
+		// stretch the already-quantized bins the same way, comparing in
+		// float space before the int conversion (mirrors Unit.drawBin).
+		inv := 1 / m.yield
+		for i, b := range bins {
+			if b == 0 {
+				continue
+			}
+			t := float64(b) * inv
+			if t > float64(window) {
+				bins[i] = 0
+				m.stats.DriftTruncations++
+			} else {
+				bins[i] = int(math.Ceil(t))
+			}
+		}
+	}
+
+	if m.cfg.BleedThrough > 0 && !rowStuck {
+		m.stats.BleedChecks++
+		if rng.Float64(m.src) < m.cfg.BleedThrough {
+			// The row was left excited by an unobserved activation in its
+			// previous window. Whether that residual actually fires inside
+			// this window follows the RET decay physics: ret.Network keeps
+			// the pending emission across windows and drops photons that
+			// escaped between them.
+			j := rng.Intn(m.src, len(bins))
+			m.nets[row].Excite(now-int64(window), 1, m.circuit.BaseRate*m.yield, m.src)
+			if t, ok := m.nets[row].Emission(now+1, to); ok {
+				d := int(t - now)
+				if bins[j] == 0 || d < bins[j] {
+					bins[j] = d
+					m.stats.BleedThrough++
+				}
+			}
+		}
+	}
+
+	if m.cfg.DarkCountPerBin > 0 {
+		for i, b := range bins {
+			t, ok := m.spad.Detect(int64(b), b > 0, 1, int64(window), m.src)
+			if !ok {
+				continue // no photon, no dark count
+			}
+			if b == 0 || t < int64(b) {
+				bins[i] = int(t)
+				m.stats.DarkCounts++
+			}
+		}
+	}
+}
+
+var _ core.FaultInjector = (*Model)(nil)

@@ -1,0 +1,261 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"rsu/internal/rng"
+	"rsu/internal/stats"
+)
+
+// countingSource wraps a source and counts every draw, so tests can assert
+// the zero-rate model never touches its stream.
+type countingSource struct {
+	src   rng.Source
+	draws int
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{BleedThrough: -0.1},
+		{BleedThrough: 1.5},
+		{DarkCountPerBin: -1},
+		{DarkCountPerBin: math.Inf(1)},
+		{StuckRow: 2},
+		{StuckRow: math.NaN()},
+		{Drift: -0.01},
+		{Drift: 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+	good := []Config{
+		{},
+		{BleedThrough: 1, DarkCountPerBin: 10, StuckRow: 1, Drift: 0.999},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+}
+
+// TestZeroRateNoOp pins the zero-fault invariant at the model level: a
+// zero-rate model must leave the bins untouched and must not draw a single
+// value from its stream (so it cannot even perturb its own future).
+func TestZeroRateNoOp(t *testing.T) {
+	src := &countingSource{src: rng.NewXoshiro256(7)}
+	m := NewModel(Config{}, src)
+	bins := []int{0, 3, 17, 64, 1}
+	want := append([]int(nil), bins...)
+	for i := 0; i < 100; i++ {
+		m.PerturbBins(bins, 64)
+	}
+	for i := range bins {
+		if bins[i] != want[i] {
+			t.Fatalf("bins[%d] = %d after zero-rate PerturbBins, want %d", i, bins[i], want[i])
+		}
+	}
+	if src.draws != 0 {
+		t.Errorf("zero-rate model drew %d values from its stream, want 0", src.draws)
+	}
+	if inj := m.Stats().Injected(); inj != 0 {
+		t.Errorf("zero-rate model injected %d events, want 0", inj)
+	}
+	if m.Stats().Evaluations != 100 {
+		t.Errorf("Evaluations = %d, want 100", m.Stats().Evaluations)
+	}
+}
+
+// TestPerSeedReproducible pins fault determinism: two models with the same
+// config and seed corrupt identical inputs identically; a different seed
+// diverges.
+func TestPerSeedReproducible(t *testing.T) {
+	cfg := Config{BleedThrough: 0.3, DarkCountPerBin: 0.02, StuckRow: 0.2, Drift: 0.01}
+	run := func(seed uint64) [][]int {
+		m := NewModel(cfg, rng.NewXoshiro256(seed))
+		var out [][]int
+		for i := 0; i < 200; i++ {
+			bins := []int{5, 0, 40, 12}
+			m.PerturbBins(bins, 64)
+			out = append(out, bins)
+		}
+		return out
+	}
+	a, b, c := run(11), run(11), run(12)
+	same := func(x, y [][]int) bool {
+		for i := range x {
+			for j := range x[i] {
+				if x[i][j] != y[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Error("same seed produced different fault sequences")
+	}
+	if same(a, c) {
+		t.Error("different seeds produced identical fault sequences (suspicious)")
+	}
+}
+
+// TestDarkCountFrequency checks the injected dark-count frequency against
+// the configured rate with a chi-square test. With no photon anywhere and
+// the detector raced over [1, window], a dark count lands iff its
+// exponential delay fits the window: p = 1 - exp(-rate * (window-1)).
+func TestDarkCountFrequency(t *testing.T) {
+	const (
+		rate   = 0.01
+		window = 64
+		n      = 20000
+	)
+	m := NewModel(Config{DarkCountPerBin: rate}, rng.NewXoshiro256(2026))
+	fired := 0
+	for i := 0; i < n; i++ {
+		bins := []int{0}
+		m.PerturbBins(bins, window)
+		if bins[0] != 0 {
+			fired++
+			if bins[0] < 2 || bins[0] > window {
+				t.Fatalf("dark count at bin %d, want within [2, %d]", bins[0], window)
+			}
+		}
+	}
+	if int64(fired) != m.Stats().DarkCounts {
+		t.Fatalf("fired %d but DarkCounts = %d", fired, m.Stats().DarkCounts)
+	}
+	p := 1 - math.Exp(-rate*(window-1))
+	res, err := stats.ChiSquareTest(
+		[]float64{float64(fired), float64(n - fired)},
+		[]float64{float64(n) * p, float64(n) * (1 - p)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 1e-6 {
+		t.Errorf("dark-count frequency %d/%d inconsistent with rate %g (expected p=%.4f): chi2 p-value %.3g",
+			fired, n, rate, p, res.PValue)
+	}
+}
+
+// TestStuckRowSuppressesPhotons: with every row stuck, no photon survives and
+// every window counts as stuck.
+func TestStuckRowSuppressesPhotons(t *testing.T) {
+	m := NewModel(Config{StuckRow: 1}, rng.NewXoshiro256(1))
+	for i := 0; i < 32; i++ {
+		bins := []int{9, 17, 3}
+		m.PerturbBins(bins, 64)
+		for j, b := range bins {
+			if b != 0 {
+				t.Fatalf("window %d: stuck row left photon bins[%d] = %d", i, j, b)
+			}
+		}
+	}
+	if got := m.Stats().StuckWindows; got != 32 {
+		t.Errorf("StuckWindows = %d, want 32", got)
+	}
+}
+
+// TestDriftStretchesAndTruncates: yield decay must monotonically stretch
+// TTFs until they fall off the window end, and never shrink them.
+func TestDriftStretches(t *testing.T) {
+	m := NewModel(Config{Drift: 0.05}, rng.NewXoshiro256(1))
+	const window = 64
+	prev := 0
+	truncated := false
+	for i := 0; i < 400; i++ {
+		bins := []int{30}
+		m.PerturbBins(bins, window)
+		if bins[0] == 0 {
+			truncated = true
+			break
+		}
+		if bins[0] < 30 || bins[0] < prev {
+			t.Fatalf("eval %d: drift shrank the TTF (%d after %d)", i, bins[0], prev)
+		}
+		prev = bins[0]
+	}
+	if !truncated {
+		t.Error("sustained drift never truncated a mid-window photon")
+	}
+	if m.Stats().DriftTruncations == 0 {
+		t.Error("DriftTruncations = 0 after a truncating run")
+	}
+	if y := m.Yield(); y >= 1 || y < minYield {
+		t.Errorf("Yield = %g, want in [%g, 1)", y, minYield)
+	}
+}
+
+// TestInjectionStreams: per-stream models are distinct and stable, and the
+// aggregate stats sum across them.
+func TestInjectionStreams(t *testing.T) {
+	inj, err := New(&Config{DarkCountPerBin: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, m1 := inj.Model(0), inj.Model(1)
+	if m0 == m1 {
+		t.Fatal("streams 0 and 1 share a model")
+	}
+	if inj.Model(0) != m0 {
+		t.Fatal("Model(0) is not stable across calls")
+	}
+	bins := []int{0, 0, 0}
+	for i := 0; i < 50; i++ {
+		m0.PerturbBins(bins, 64)
+		m1.PerturbBins(bins, 64)
+	}
+	want := m0.Stats().DarkCounts + m1.Stats().DarkCounts
+	if got := inj.Stats().DarkCounts; got != want {
+		t.Errorf("aggregate DarkCounts = %d, want %d", got, want)
+	}
+}
+
+// TestNewNilAndInvalid: a nil config disables injection without error; an
+// invalid one is rejected.
+func TestNewNilAndInvalid(t *testing.T) {
+	inj, err := New(nil)
+	if inj != nil || err != nil {
+		t.Errorf("New(nil) = %v, %v; want nil, nil", inj, err)
+	}
+	if _, err := New(&Config{Drift: 2}); err == nil {
+		t.Error("New(invalid) = nil error, want validation error")
+	}
+}
+
+// TestReportDegraded: the degradation verdict requires both active faults
+// and a collapsed UQ confidence.
+func TestReportDegraded(t *testing.T) {
+	active, err := New(&Config{BleedThrough: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := New(&Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		inj    *Injection
+		conf   float64
+		haveUQ bool
+		want   bool
+	}{
+		{active, DegradedConfidence - 0.1, true, true},
+		{active, DegradedConfidence + 0.1, true, false},
+		{active, 0.1, false, false}, // no UQ signal, no verdict
+		{zero, 0.1, true, false},    // inactive faults cannot degrade
+	}
+	for i, c := range cases {
+		if got := c.inj.Report(c.conf, c.haveUQ).Degraded; got != c.want {
+			t.Errorf("case %d: Degraded = %v, want %v", i, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+
+	"rsu/internal/core"
+	"rsu/internal/rng"
+)
+
+// streamSalt decorrelates the fault streams from the label streams: a job
+// whose fault seed happens to equal its master seed must not hand worker w's
+// fault model the very generator state worker w's sampler draws labels from.
+// The salt is folded into the base seed before core.StreamSeed's per-stream
+// mixing, so (seed, stream) fault streams and (seed, stream) label streams
+// never coincide.
+const streamSalt = 0xfa017_5eed
+
+// Injection is one solve's fault state: the validated config plus one lazily
+// built Model per solver worker stream. The solvers attach Model(w) to
+// worker w's sampler, so for a fixed (config, worker count) the injected
+// fault sequence is fully deterministic — independent of executor count,
+// which only schedules the workers.
+type Injection struct {
+	cfg Config
+
+	mu     sync.Mutex
+	models map[int]*Model
+}
+
+// New validates cfg and returns an Injection over it. A nil return with a
+// nil error means cfg is nil — the caller wants no injection.
+func New(cfg *Config) (*Injection, error) {
+	if cfg == nil {
+		return nil, nil
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injection{cfg: *cfg, models: make(map[int]*Model)}, nil
+}
+
+// Config returns the injection's validated fault config.
+func (inj *Injection) Config() Config { return inj.cfg }
+
+// Active reports whether any fault rate is positive.
+func (inj *Injection) Active() bool { return inj.cfg.Active() }
+
+// Model returns worker stream w's fault model, building it on first use
+// with its dedicated xoshiro256** source seeded by
+// core.StreamSeed(salted seed, w).
+func (inj *Injection) Model(stream int) *Model {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if m, ok := inj.models[stream]; ok {
+		return m
+	}
+	m := NewModel(inj.cfg, rng.NewXoshiro256(core.StreamSeed(inj.cfg.Seed^streamSalt, stream)))
+	inj.models[stream] = m
+	return m
+}
+
+// Attach installs worker stream's model on s when the sampler can host one
+// (core.FaultInjectable — the hardware Unit). It returns a detach func to
+// run when the solve finishes, or nil when the sampler models no device
+// (software baseline) and the injection was a no-op.
+func (inj *Injection) Attach(s core.LabelSampler, stream int) func() {
+	fi, ok := s.(core.FaultInjectable)
+	if !ok {
+		return nil
+	}
+	fi.SetFaultInjector(inj.Model(stream))
+	return func() { fi.SetFaultInjector(nil) }
+}
+
+// Stats aggregates the counters of every per-worker model.
+func (inj *Injection) Stats() Stats {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	agg := Stats{MinYield: 1}
+	for _, m := range inj.models {
+		agg.add(m.stats)
+	}
+	return agg
+}
+
+// DegradedConfidence is the posterior mean-confidence floor of the
+// mitigation path: a faulted run whose UQ mean confidence collapses below
+// this is flagged degraded — the device noise has visibly corrupted the
+// chain and the output should not be trusted without re-running (or
+// repairing the device).
+const DegradedConfidence = 0.5
+
+// Report is the per-run fault summary carried on app Results and serve
+// responses: the config that ran, the aggregated injected-event counters,
+// and the UQ-based degradation verdict.
+type Report struct {
+	Config Config `json:"config"`
+	Stats  Stats  `json:"stats"`
+	// MeanConfidence is the run's posterior mean confidence; present only
+	// when UQ collection ran alongside the faults.
+	MeanConfidence float64 `json:"mean_confidence,omitempty"`
+	// Degraded flags an active-fault run whose MeanConfidence fell below
+	// DegradedConfidence. Always false without UQ (no confidence signal).
+	Degraded bool `json:"degraded"`
+}
+
+// Report summarizes the injection. meanConfidence is the run's posterior
+// mean confidence when haveUQ is true (see uq.Result.MeanConfidence);
+// without UQ the degradation verdict is unavailable and stays false.
+func (inj *Injection) Report(meanConfidence float64, haveUQ bool) *Report {
+	r := &Report{Config: inj.cfg, Stats: inj.Stats()}
+	if haveUQ {
+		r.MeanConfidence = meanConfidence
+		r.Degraded = inj.Active() && meanConfidence < DegradedConfidence
+	}
+	return r
+}
+
+// String renders the one-line CLI summary.
+func (r *Report) String() string {
+	s := fmt.Sprintf("faults: %d injected over %d evaluations (bleed %d, dark %d, stuck %d, drift-trunc %d, min yield %.3g)",
+		r.Stats.Injected(), r.Stats.Evaluations,
+		r.Stats.BleedThrough, r.Stats.DarkCounts, r.Stats.StuckWindows,
+		r.Stats.DriftTruncations, r.Stats.MinYield)
+	if r.MeanConfidence > 0 {
+		s += fmt.Sprintf("  mean conf %.3f", r.MeanConfidence)
+	}
+	if r.Degraded {
+		s += "  DEGRADED"
+	}
+	return s
+}

@@ -283,6 +283,9 @@ func SolveParallelCtx(ctx context.Context, p *Problem, samplers []core.LabelSamp
 	if err != nil {
 		return nil, err
 	}
+	// Worker w hosts fault stream w — the same mapping at every executor
+	// count, so faulted runs keep the executor bit-invariance guarantee.
+	defer attachFaults(opts, samplers...)()
 
 	workers := len(samplers)
 	cells := checkerCells(p.W, p.H)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rsu/internal/core"
+	"rsu/internal/fault"
 	"rsu/internal/img"
 )
 
@@ -170,6 +171,34 @@ type SolveOptions struct {
 	// (see the Collector interface for the retention and neutrality
 	// contract). nil — the default — adds no work to the sweep loop.
 	Collector Collector
+	// Faults, when non-nil, attaches the device-fault injection layer to
+	// every hardware sampler for the duration of the solve: worker w's
+	// sampler hosts Faults.Model(w), whose randomness comes from a dedicated
+	// per-stream RNG (never the label stream). Samplers that model no device
+	// (the software baseline) are silently left ideal. A nil Faults — or an
+	// attached injection whose rates are all zero — leaves every solver path
+	// byte-identical to the golden traces (the zero-fault invariant).
+	Faults *fault.Injection
+}
+
+// attachFaults installs opts.Faults' per-stream models on the samplers and
+// returns the detach func to defer (solvers must not leave a past run's
+// injector on a caller-owned sampler). Serial solves are stream 0.
+func attachFaults(opts SolveOptions, samplers ...core.LabelSampler) func() {
+	if opts.Faults == nil {
+		return func() {}
+	}
+	var detach []func()
+	for w, s := range samplers {
+		if d := opts.Faults.Attach(s, w); d != nil {
+			detach = append(detach, d)
+		}
+	}
+	return func() {
+		for _, d := range detach {
+			d()
+		}
+	}
 }
 
 // ResolveWorkers maps the SolveOptions.Workers knob onto a concrete worker
@@ -316,6 +345,7 @@ func SolveCtx(ctx context.Context, p *Problem, sampler core.LabelSampler, sched 
 	if err != nil {
 		return nil, err
 	}
+	defer attachFaults(opts, sampler)()
 	sw := newSerialSweeper(p, tab, lab, sampler, opts.OnSweep != nil)
 	ti := sched.iter()
 	for k := 0; k < sched.Iterations; k++ {

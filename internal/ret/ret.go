@@ -120,6 +120,15 @@ type SPAD struct {
 
 // Detect merges a (possibly absent) photon arrival with the dark-count
 // process over the window [from, to], returning the first event time.
+//
+// Tie policy: a dark count landing in the same bin as the photon resolves in
+// the photon's favor — the avalanche the photon triggers quenches the diode
+// for the rest of the bin, so a simultaneous thermal event is absorbed into
+// the same detection. Concretely, the dark count replaces the photon only
+// when it strictly precedes it (d < photon), and the dark-count delay is
+// clamped to at least one whole bin past `from`: the exponential delay is
+// "first dark event after the window opens", so the earliest bin it can
+// quantize into is from+1, never from itself.
 func (s SPAD) Detect(photon int64, hasPhoton bool, from, to int64, src rng.Source) (int64, bool) {
 	first := int64(math.MaxInt64)
 	ok := false
@@ -128,10 +137,20 @@ func (s SPAD) Detect(photon int64, hasPhoton bool, from, to int64, src rng.Sourc
 		ok = true
 	}
 	if s.DarkCountPerBin > 0 {
-		d := from + int64(math.Ceil(rng.Exponential(src, s.DarkCountPerBin)))
-		if d <= to && d < first {
-			first = d
-			ok = true
+		t := rng.Exponential(src, s.DarkCountPerBin)
+		// Bound the delay in float space before the int conversion: at the
+		// paper's kHz dark rates (1e-6/bin and below) an unlucky draw can
+		// exceed int64 range, and the overflowed conversion used to wrap to
+		// a negative time that counted as an in-window event.
+		if t <= float64(to-from) {
+			delay := int64(math.Ceil(t))
+			if delay < 1 {
+				delay = 1 // >= one bin past the window opening (see tie policy)
+			}
+			if d := from + delay; d <= to && d < first {
+				first = d
+				ok = true
+			}
 		}
 	}
 	if !ok {

@@ -361,3 +361,66 @@ func TestNoBleachingByDefault(t *testing.T) {
 		t.Fatalf("default circuit bleached to %v", c.MinYield())
 	}
 }
+
+// TestSPADTiePolicyPhotonWins pins the documented tie policy: with a dark
+// rate so high the dark event always quantizes into the earliest possible
+// bin (from+1), a photon already sitting in that bin must survive — dark
+// counts replace the photon only when strictly earlier.
+func TestSPADTiePolicyPhotonWins(t *testing.T) {
+	s := SPAD{DarkCountPerBin: 1e6} // exponential delay ~1e-6, always ceil -> 1
+	src := rng.NewXoshiro256(21)
+	for i := 0; i < 1000; i++ {
+		tm, ok := s.Detect(1, true, 0, 32, src)
+		if !ok || tm != 1 {
+			t.Fatalf("photon at from+1 lost the tie: got (%d, %v), want (1, true)", tm, ok)
+		}
+	}
+}
+
+// TestSPADDarkDelayClampedToOneBin pins the lower boundary: a dark count can
+// never land at `from` itself — the exponential delay quantizes to at least
+// one whole bin past the window opening.
+func TestSPADDarkDelayClampedToOneBin(t *testing.T) {
+	s := SPAD{DarkCountPerBin: 1e6}
+	src := rng.NewXoshiro256(22)
+	for i := 0; i < 1000; i++ {
+		tm, ok := s.Detect(0, false, 5, 37, src)
+		if !ok {
+			t.Fatal("saturating dark rate failed to fire")
+		}
+		if tm != 6 {
+			t.Fatalf("dark count at %d, want exactly from+1 = 6 at saturating rate", tm)
+		}
+	}
+}
+
+// TestSPADTinyRateNoOverflow pins the overflow fix: at vanishing dark rates
+// the exponential delay can exceed the int64 range, and the float->int
+// conversion used to wrap negative and register a spurious in-window event.
+// The delay must now be bounded in float space first: no event, ever.
+func TestSPADTinyRateNoOverflow(t *testing.T) {
+	s := SPAD{DarkCountPerBin: 1e-300}
+	src := rng.NewXoshiro256(23)
+	for i := 0; i < 100000; i++ {
+		if tm, ok := s.Detect(0, false, 0, 1<<16, src); ok {
+			t.Fatalf("iteration %d: tiny-rate SPAD fired at %d (overflow regression)", i, tm)
+		}
+	}
+}
+
+// TestSPADDarkEventInsideWindowBounds: at a moderate rate every fired dark
+// event must land inside (from, to] — never at from, never past to.
+func TestSPADDarkEventInsideWindowBounds(t *testing.T) {
+	s := SPAD{DarkCountPerBin: 0.05}
+	src := rng.NewXoshiro256(24)
+	const from, to = 100, 164
+	for i := 0; i < 50000; i++ {
+		tm, ok := s.Detect(0, false, from, to, src)
+		if !ok {
+			continue
+		}
+		if tm <= from || tm > to {
+			t.Fatalf("dark event at %d outside (%d, %d]", tm, from, to)
+		}
+	}
+}

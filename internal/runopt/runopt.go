@@ -14,6 +14,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"rsu/internal/fault"
 	"rsu/internal/img"
 	"rsu/internal/mrf"
 	"rsu/internal/uq"
@@ -76,6 +77,72 @@ func (f *UQFlags) Options() *uq.Options {
 		return nil
 	}
 	return &uq.Options{BurnIn: f.BurnIn, Thin: f.Thin}
+}
+
+// FaultFlags are the device-fault injection flags shared by the rsu-*
+// solvers: one rate per fault type in fault.Config, all defaulting to zero
+// (the ideal device).
+type FaultFlags struct {
+	// Bleed is the per-draw inter-column bleed-through probability.
+	Bleed float64
+	// Dark is the SPAD dark-count rate per discrete time bin.
+	Dark float64
+	// Stuck is the per-replica-row stuck probability.
+	Stuck float64
+	// Drift is the fractional quantum-yield loss per draw (photobleaching).
+	Drift float64
+	// Seed seeds the dedicated fault RNG streams; 0 derives from the
+	// tool's master -seed.
+	Seed uint64
+}
+
+// Register installs the fault flags on fs.
+func (f *FaultFlags) Register(fs *flag.FlagSet) {
+	fs.Float64Var(&f.Bleed, "fault-bleed", 0,
+		"per-draw probability of inter-column optical bleed-through")
+	fs.Float64Var(&f.Dark, "fault-dark", 0,
+		"SPAD dark-count rate per time bin (e.g. 1e-6)")
+	fs.Float64Var(&f.Stuck, "fault-stuck", 0,
+		"probability each replica row is stuck dark for the whole run")
+	fs.Float64Var(&f.Drift, "fault-drift", 0,
+		"fractional quantum-yield loss per draw (photobleaching drift)")
+	fs.Uint64Var(&f.Seed, "fault-seed", 0,
+		"fault-stream RNG seed (0 = derive from -seed)")
+}
+
+// Config maps the flags onto a fault.Config for the app params, nil when all
+// rates are zero (no injection requested). sampler guards the software
+// baseline, which models no device to fault; masterSeed fills in a zero
+// -fault-seed so faulted runs stay reproducible from -seed alone.
+func (f *FaultFlags) Config(sampler string, masterSeed uint64) (*fault.Config, error) {
+	cfg := fault.Config{
+		BleedThrough:    f.Bleed,
+		DarkCountPerBin: f.Dark,
+		StuckRow:        f.Stuck,
+		Drift:           f.Drift,
+		Seed:            f.Seed,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Active() {
+		return nil, nil
+	}
+	if sampler == "software" {
+		return nil, fmt.Errorf("runopt: fault injection requires a hardware sampler (new | prev); the software baseline models no device")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = masterSeed
+	}
+	return &cfg, nil
+}
+
+// ReportFaults prints a fault report's one-line summary to w. r may be nil
+// (no injection requested) — the tools call it unconditionally.
+func ReportFaults(w io.Writer, r *fault.Report) {
+	if r != nil {
+		fmt.Fprintln(w, r.String())
+	}
 }
 
 // ReportUQ prints a UQ run's summary line and confidence histogram to w and,

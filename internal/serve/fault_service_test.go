@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+func TestFaultSpecValidation(t *testing.T) {
+	bad := []JobSpec{
+		{App: AppIsing, FaultBleed: -0.1},
+		{App: AppIsing, FaultDark: -1},
+		{App: AppIsing, FaultStuck: 1.5},
+		{App: AppIsing, FaultDrift: 1},
+		{App: AppStereo, Sampler: "software", FaultDark: 1e-6},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate(%+v) = nil, want error", i, s)
+		}
+	}
+	good := []JobSpec{
+		{App: AppIsing, FaultDark: 1e-6},
+		{App: AppStereo, Sampler: "new", FaultBleed: 0.1, FaultDrift: 0.001},
+		// Zero rates on the software sampler are fine: no injection happens.
+		{App: AppStereo, Sampler: "software"},
+	}
+	for i, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("case %d: Validate(%+v) = %v, want nil", i, s, err)
+		}
+	}
+}
+
+func TestFaultConfigMapping(t *testing.T) {
+	if cfg := (JobSpec{App: AppIsing}).faultConfig(); cfg != nil {
+		t.Errorf("zero-rate spec mapped to %+v, want nil", cfg)
+	}
+	s := JobSpec{App: AppIsing, Seed: 42, FaultDark: 1e-4}
+	cfg := s.faultConfig()
+	if cfg == nil || cfg.DarkCountPerBin != 1e-4 {
+		t.Fatalf("faultConfig = %+v, want dark 1e-4", cfg)
+	}
+	if cfg.Seed != 42 {
+		t.Errorf("zero fault_seed must derive from the master seed: got %d, want 42", cfg.Seed)
+	}
+	s.FaultSeed = 7
+	if cfg = s.faultConfig(); cfg.Seed != 7 {
+		t.Errorf("explicit fault_seed overridden: got %d, want 7", cfg.Seed)
+	}
+}
+
+// TestFaultJobEndToEnd submits a faulted ising job and checks the result
+// carries the fault report and the metrics counters move.
+func TestFaultJobEndToEnd(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer shutdownOrFail(t, svc)
+
+	spec := quickSpec()
+	spec.FaultDark = 0.05
+	job, err := svc.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, status, err := job.Wait(context.Background())
+	if err != nil || status != StatusOK {
+		t.Fatalf("job: status %s, err %v", status, err)
+	}
+	if res.Faults == nil {
+		t.Fatal("faulted job result carries no fault report")
+	}
+	if res.Faults.Config.DarkCountPerBin != 0.05 {
+		t.Errorf("report config dark = %g, want 0.05", res.Faults.Config.DarkCountPerBin)
+	}
+	if res.Faults.Stats.Evaluations == 0 {
+		t.Error("fault model saw no evaluations — injection not reaching the sampler")
+	}
+	if res.Faults.Stats.DarkCounts == 0 {
+		t.Error("heavy dark rate injected no dark counts")
+	}
+	if res.Degraded {
+		t.Error("ising job flagged degraded: ising has no UQ posterior to judge by")
+	}
+
+	m := svc.Metrics()
+	if got := m.FaultJobs.Load(); got != 1 {
+		t.Errorf("FaultJobs = %d, want 1", got)
+	}
+	if got := m.FaultDarkCounts.Load(); got != uint64(res.Faults.Stats.DarkCounts) {
+		t.Errorf("FaultDarkCounts = %d, want %d", got, res.Faults.Stats.DarkCounts)
+	}
+
+	// A clean job must not carry a report or bump the counter.
+	job, err = svc.Submit(context.Background(), quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, status, err = job.Wait(context.Background())
+	if err != nil || status != StatusOK {
+		t.Fatalf("clean job: status %s, err %v", status, err)
+	}
+	if res.Faults != nil || res.Degraded {
+		t.Error("clean job result carries a fault report")
+	}
+	if got := m.FaultJobs.Load(); got != 1 {
+		t.Errorf("FaultJobs after clean job = %d, want 1", got)
+	}
+}
+
+// TestFaultMetricsRendered: the Prometheus exposition includes the fault
+// counter families.
+func TestFaultMetricsRendered(t *testing.T) {
+	m := NewMetrics()
+	out := m.Render(CacheStats{})
+	for _, name := range []string{
+		"rsu_serve_fault_jobs_total",
+		"rsu_serve_degraded_jobs_total",
+		"rsu_serve_fault_bleed_through_total",
+		"rsu_serve_fault_dark_counts_total",
+		"rsu_serve_fault_stuck_windows_total",
+		"rsu_serve_fault_drift_truncations_total",
+	} {
+		if !contains(out, name) {
+			t.Errorf("metrics exposition missing %s", name)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRetryAfterDerivation pins the backpressure hint's shape: 1s with no
+// duration history, scaling with backlog x mean duration once jobs have
+// completed, clamped to [1, 60].
+func TestRetryAfterDerivation(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer shutdownOrFail(t, svc)
+
+	if got := svc.RetryAfterSeconds(); got != 1 {
+		t.Errorf("no history: RetryAfterSeconds = %d, want fallback 1", got)
+	}
+
+	// Backlog of 6 jobs across 2 workers at a 3s mean -> ceil(6/2*3) = 9s.
+	svc.metrics.ObserveJob("ising", 3.0)
+	svc.metrics.QueueDepth.Store(5)
+	svc.metrics.InFlight.Store(1)
+	if got := svc.RetryAfterSeconds(); got != 9 {
+		t.Errorf("backlog 6 x 3s / 2 workers: RetryAfterSeconds = %d, want 9", got)
+	}
+
+	// Empty backlog still tells the client to wait at least a second.
+	svc.metrics.QueueDepth.Store(0)
+	svc.metrics.InFlight.Store(0)
+	if got := svc.RetryAfterSeconds(); got != 1 {
+		t.Errorf("empty backlog: RetryAfterSeconds = %d, want 1", got)
+	}
+
+	// Pathological backlog clamps at the 60s ceiling.
+	svc.metrics.QueueDepth.Store(1 << 20)
+	if got := svc.RetryAfterSeconds(); got != 60 {
+		t.Errorf("huge backlog: RetryAfterSeconds = %d, want clamp 60", got)
+	}
+	svc.metrics.QueueDepth.Store(0)
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 )
 
 // errorBody is the JSON error envelope every non-200 response uses.
@@ -60,9 +61,10 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, err := s.Submit(r.Context(), spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		// Backpressure: tell the client to come back once roughly one
-		// queued job's worth of time has passed.
-		w.Header().Set("Retry-After", "1")
+		// Backpressure: the hint scales with how long the current backlog
+		// will actually take to drain (see RetryAfterSeconds), instead of
+		// the fixed 1s that told clients to hammer a saturated service.
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 		return
 	case errors.Is(err, ErrDraining):

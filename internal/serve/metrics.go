@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"rsu/internal/fault"
 )
 
 // defaultLatencyBuckets are the histogram upper bounds in seconds,
@@ -69,6 +71,17 @@ type Metrics struct {
 	// UQJobs counts jobs that ran with posterior collection enabled.
 	UQJobs atomic.Uint64
 
+	// FaultJobs counts jobs run with device-fault injection active;
+	// DegradedJobs the subset whose posterior confidence collapsed under
+	// injection (fault.Report.Degraded). The per-type counters accumulate
+	// injected fault events across all jobs.
+	FaultJobs         atomic.Uint64
+	DegradedJobs      atomic.Uint64
+	FaultBleedThru    atomic.Uint64
+	FaultDarkCounts   atomic.Uint64
+	FaultStuckWindows atomic.Uint64
+	FaultDriftTrunc   atomic.Uint64
+
 	mu        sync.Mutex
 	jobHist   map[string]*histogram // per app: whole-job latency
 	sweepHist map[string]*histogram // per app: per-sweep latency
@@ -110,6 +123,42 @@ func (m *Metrics) ObserveSweep(app string, seconds float64) {
 func (m *Metrics) ObserveUQ(app string, seconds float64) {
 	m.UQJobs.Add(1)
 	m.hist(m.uqHist, app).observe(seconds)
+}
+
+// ObserveFaults records one fault-injected job's report: the job counter,
+// the per-fault-type injected-event counters, and the degradation verdict.
+// nil (no injection requested) is a no-op.
+func (m *Metrics) ObserveFaults(rep *fault.Report) {
+	if rep == nil {
+		return
+	}
+	m.FaultJobs.Add(1)
+	m.FaultBleedThru.Add(uint64(rep.Stats.BleedThrough))
+	m.FaultDarkCounts.Add(uint64(rep.Stats.DarkCounts))
+	m.FaultStuckWindows.Add(uint64(rep.Stats.StuckWindows))
+	m.FaultDriftTrunc.Add(uint64(rep.Stats.DriftTruncations))
+	if rep.Degraded {
+		m.DegradedJobs.Add(1)
+	}
+}
+
+// MeanJobSeconds returns the mean wall-clock duration across every completed
+// job (all apps) and whether any job has completed yet — the load signal the
+// HTTP layer's Retry-After derivation uses.
+func (m *Metrics) MeanJobSeconds() (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum float64
+	var count uint64
+	for _, h := range m.jobHist {
+		_, s, c := h.snapshot()
+		sum += s
+		count += c
+	}
+	if count == 0 {
+		return 0, false
+	}
+	return sum / float64(count), true
 }
 
 // formatFloat renders a bucket bound the way Prometheus clients do.
@@ -154,6 +203,12 @@ func (m *Metrics) Render(cache CacheStats) string {
 	gauge("rsu_serve_queue_depth", "jobs waiting in the queue", m.QueueDepth.Load())
 	gauge("rsu_serve_jobs_in_flight", "jobs currently solving", m.InFlight.Load())
 	counter("rsu_serve_uq_jobs_total", "jobs run with posterior collection", m.UQJobs.Load())
+	counter("rsu_serve_fault_jobs_total", "jobs run with device-fault injection", m.FaultJobs.Load())
+	counter("rsu_serve_degraded_jobs_total", "fault-injected jobs flagged degraded by UQ confidence", m.DegradedJobs.Load())
+	counter("rsu_serve_fault_bleed_through_total", "injected bleed-through contamination events", m.FaultBleedThru.Load())
+	counter("rsu_serve_fault_dark_counts_total", "injected SPAD dark-count events", m.FaultDarkCounts.Load())
+	counter("rsu_serve_fault_stuck_windows_total", "sampling windows served by a stuck replica row", m.FaultStuckWindows.Load())
+	counter("rsu_serve_fault_drift_truncations_total", "label draws truncated by concentration drift", m.FaultDriftTrunc.Load())
 
 	counter("rsu_serve_cache_pair_hits_total", "pairwise-LUT cache hits", cache.PairHits)
 	counter("rsu_serve_cache_pair_misses_total", "pairwise-LUT cache misses", cache.PairMisses)

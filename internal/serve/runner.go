@@ -12,6 +12,7 @@ import (
 	"rsu/internal/apps/segment"
 	"rsu/internal/apps/stereo"
 	"rsu/internal/core"
+	"rsu/internal/fault"
 	"rsu/internal/img"
 	"rsu/internal/mrf"
 	"rsu/internal/synth"
@@ -45,6 +46,14 @@ type JobResult struct {
 	// UQ holds the posterior-marginal summary (and optionally the inlined
 	// marginal array) when the spec asked for uq.
 	UQ *UQResult `json:"uq,omitempty"`
+	// Faults holds the device-fault injection report when the spec set any
+	// fault rate: the config that ran, per-fault-type injected-event
+	// counters, and — when uq also ran — the degradation verdict.
+	Faults *fault.Report `json:"faults,omitempty"`
+	// Degraded mirrors Faults.Degraded at the top level so clients can gate
+	// on one boolean: true when the posterior confidence collapsed below
+	// fault.DegradedConfidence under active fault injection.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // maxInlineMarginals caps the marginal values a result may inline
@@ -92,6 +101,17 @@ func uqResult(r *uq.Result, point *img.Labels, s JobSpec, metrics *Metrics) (*UQ
 	}
 	metrics.ObserveUQ(s.App, r.CollectSeconds)
 	return out, nil
+}
+
+// reportFaults copies an app's fault report into the job result and feeds
+// the per-fault-type metrics counters. nil (no injection) is a no-op.
+func reportFaults(res *JobResult, rep *fault.Report, metrics *Metrics) {
+	if rep == nil {
+		return
+	}
+	res.Faults = rep
+	res.Degraded = rep.Degraded
+	metrics.ObserveFaults(rep)
 }
 
 // buildDataset resolves (building and caching) the synthetic input scene.
@@ -208,6 +228,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		}
 		p.SamplerFactory, p.Workers, p.Ctx, p.OnSweep = factory, workers, ctx, onSweep
 		p.UQ = s.uqOptions()
+		p.Faults = s.faultConfig()
 		prob := stereo.BuildProblem(pair, p)
 		key := fmt.Sprintf("stereo/L%d/w%g/c%g", prob.Labels, p.SmoothWeight, p.SmoothCap)
 		p.PairLUT, res.PairLUTHit, err = cache.pairLUT(key, prob)
@@ -223,6 +244,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		if res.UQ, err = uqResult(r.UQ, r.Disparity, s, metrics); err != nil {
 			return nil, err
 		}
+		reportFaults(res, r.Faults, metrics)
 	case AppFlow:
 		pair := ds.(*synth.FlowPair)
 		p := flow.DefaultParams()
@@ -231,6 +253,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		}
 		p.SamplerFactory, p.Workers, p.Ctx, p.OnSweep = factory, workers, ctx, onSweep
 		p.UQ = s.uqOptions()
+		p.Faults = s.faultConfig()
 		prob := flow.BuildProblem(pair, p)
 		key := fmt.Sprintf("flow/r%d/w%g/c%g", pair.Radius, p.SmoothWeight, p.SmoothCap)
 		p.PairLUT, res.PairLUTHit, err = cache.pairLUT(key, prob)
@@ -245,6 +268,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		if res.UQ, err = uqResult(r.UQ, r.Labels, s, metrics); err != nil {
 			return nil, err
 		}
+		reportFaults(res, r.Faults, metrics)
 	case AppSegment:
 		scene := ds.(*synth.SegScene)
 		p := segment.DefaultParams()
@@ -253,6 +277,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		}
 		p.SamplerFactory, p.Workers, p.Ctx, p.OnSweep = factory, workers, ctx, onSweep
 		p.UQ = s.uqOptions()
+		p.Faults = s.faultConfig()
 		// The Potts LUT depends only on the segment count and smoothness
 		// weight; dummy means of the right length give the same table.
 		prob := segment.BuildProblem(scene.Image, make([]float64, scene.Segments), p)
@@ -272,10 +297,12 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		if res.UQ, err = uqResult(r.UQ, r.Labeling, s, metrics); err != nil {
 			return nil, err
 		}
+		reportFaults(res, r.Faults, metrics)
 	case AppIsing:
 		m := ising.DefaultModel()
 		m.N = s.N
 		m.SamplerFactory, m.Workers, m.Ctx, m.OnSweep = factory, workers, ctx, onSweep
+		m.Faults = s.faultConfig()
 		prob := m.Problem()
 		key := fmt.Sprintf("ising/J%g/H%g", m.J, m.H)
 		m.PairLUT, res.PairLUTHit, err = cache.pairLUT(key, prob)
@@ -288,6 +315,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		}
 		res.Metrics["magnetization"] = obs.Magnetization
 		res.Metrics["energy"] = obs.Energy
+		reportFaults(res, obs.Faults, metrics)
 	}
 
 	res.Sweeps = sweeps

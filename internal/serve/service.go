@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -147,6 +148,28 @@ func (s *Service) Draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
+}
+
+// RetryAfterSeconds estimates how long a rejected client should back off
+// before resubmitting: the current backlog (queued + in-flight jobs) divided
+// across the worker pool, times the mean observed job duration. Before any
+// job has completed there is no duration signal and the estimate falls back
+// to 1s (the historical fixed hint). Clamped to [1, 60] so a pathological
+// backlog cannot tell clients to vanish for hours.
+func (s *Service) RetryAfterSeconds() int {
+	mean, ok := s.metrics.MeanJobSeconds()
+	if !ok {
+		return 1
+	}
+	backlog := s.metrics.QueueDepth.Load() + s.metrics.InFlight.Load()
+	est := int(math.Ceil(float64(backlog) / float64(s.cfg.Workers) * mean))
+	if est < 1 {
+		est = 1
+	}
+	if est > 60 {
+		est = 60
+	}
+	return est
 }
 
 // Submit validates and enqueues a job. The job's context derives from ctx —

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -385,8 +386,10 @@ func TestHTTPBackpressure429(t *testing.T) {
 	if resp.StatusCode != 429 {
 		t.Fatalf("status = %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Fatal("429 response missing Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 60 {
+		t.Fatalf("Retry-After %q must parse to an integer in [1, 60]", ra)
 	}
 	cancelBlock()
 	shutdownOrFail(t, svc)

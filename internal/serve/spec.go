@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"rsu/internal/fault"
 	"rsu/internal/uq"
 )
 
@@ -69,6 +70,18 @@ type JobSpec struct {
 	// UQMarginals additionally inlines the full per-pixel marginal array in
 	// the result, subject to the service's inline size cap. Requires UQ.
 	UQMarginals bool `json:"uq_marginals,omitempty"`
+
+	// FaultBleed / FaultDark / FaultStuck / FaultDrift are the device-fault
+	// injection rates (see fault.Config: per-draw bleed-through probability,
+	// SPAD dark counts per time bin, per-row stuck probability, quantum-yield
+	// loss per draw). All zero — the default — runs the ideal device.
+	// Faults require a hardware sampler (new | prev).
+	FaultBleed float64 `json:"fault_bleed,omitempty"`
+	FaultDark  float64 `json:"fault_dark,omitempty"`
+	FaultStuck float64 `json:"fault_stuck,omitempty"`
+	FaultDrift float64 `json:"fault_drift,omitempty"`
+	// FaultSeed seeds the dedicated fault RNG streams (0 = derive from Seed).
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
 
 	// Segments is the segment count for the segment app (default 4).
 	Segments int `json:"segments,omitempty"`
@@ -169,7 +182,40 @@ func (s JobSpec) Validate() error {
 	if s.UQBurnIn < 0 || s.UQThin < 0 {
 		return fmt.Errorf("serve: uq_burnin and uq_thin must be non-negative")
 	}
+	// Validate the raw fault fields (not just Active configs): a negative
+	// rate must be rejected, not silently treated as "no injection".
+	raw := fault.Config{
+		BleedThrough: s.FaultBleed, DarkCountPerBin: s.FaultDark,
+		StuckRow: s.FaultStuck, Drift: s.FaultDrift,
+	}
+	if err := raw.Validate(); err != nil {
+		return err
+	}
+	if raw.Active() && s.Sampler == "software" {
+		return fmt.Errorf("serve: fault injection requires a hardware sampler (new | prev); the software baseline models no device")
+	}
 	return nil
+}
+
+// faultConfig maps the spec's fault fields onto a fault.Config for the app
+// params, nil when every rate is zero (no injection requested). A zero
+// fault_seed derives the fault streams from the job's master seed; they are
+// salted apart from the label streams either way (see fault.New).
+func (s JobSpec) faultConfig() *fault.Config {
+	cfg := fault.Config{
+		BleedThrough:    s.FaultBleed,
+		DarkCountPerBin: s.FaultDark,
+		StuckRow:        s.FaultStuck,
+		Drift:           s.FaultDrift,
+		Seed:            s.FaultSeed,
+	}
+	if !cfg.Active() {
+		return nil
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = s.Seed
+	}
+	return &cfg
 }
 
 // uqOptions maps the spec's UQ fields onto uq.Options for the app params,

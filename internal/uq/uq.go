@@ -229,6 +229,20 @@ func (r *Result) Confidence() []float64 {
 	return out
 }
 
+// MeanConfidence returns the mean of the confidence map — the scalar the
+// fault layer's degradation verdict thresholds on (fault.DegradedConfidence).
+func (r *Result) MeanConfidence() float64 {
+	conf := r.Confidence()
+	if len(conf) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range conf {
+		sum += c
+	}
+	return sum / float64(len(conf))
+}
+
 // ConfidenceGray renders the confidence map as a grayscale image (255 =
 // fully confident), the PGM artifact the CLIs emit.
 func (r *Result) ConfidenceGray() *img.Gray {
