@@ -6,7 +6,7 @@ FUZZTIME ?= 30s
 # Coverage floor for the uncertainty-quantification estimators (DESIGN.md §12).
 UQ_COVER_MIN ?= 85
 
-.PHONY: all build test vet race race-runtime verify fault-sweep fuzz fuzz-smoke check cover bench bench-once perf perf-check profile
+.PHONY: all build test vet race race-runtime verify fault-sweep checkpoint-smoke fuzz fuzz-smoke check cover bench bench-once perf perf-check profile
 
 all: check
 
@@ -44,6 +44,14 @@ fault-sweep:
 	$(GO) test -race -count=1 ./internal/fault
 	$(GO) test -race -count=1 -run 'TestFault|TestSPAD' ./internal/mrf ./internal/ret
 
+# Checkpoint kill/resume smoke (DESIGN.md §14): SIGKILL a race-built
+# rsu-stereo mid-solve after its first snapshot, resume from the snapshot,
+# and require the resumed disparity map to be byte-identical to an
+# uninterrupted run — the bit-exact resume guarantee under the harshest
+# interruption the OS offers.
+checkpoint-smoke:
+	./scripts/checkpoint-smoke.sh
+
 # Whole-tree coverage profile plus a hard floor on internal/uq: the UQ
 # estimators feed confidence numbers to users, so untested estimator math is
 # a gate failure, not a warning. Writes coverage.out (uploaded by CI).
@@ -56,11 +64,13 @@ cover:
 	awk -v p="$$pct" -v min="$(UQ_COVER_MIN)" 'BEGIN { exit (p+0 >= min+0 ? 0 : 1) }' || \
 	{ echo "internal/uq coverage $$pct% is below the $(UQ_COVER_MIN)% floor"; exit 1; }
 
-# Native Go fuzzing of the sampling pipeline and the lambda converter.
+# Native Go fuzzing of the sampling pipeline, the lambda converter, and the
+# checkpoint snapshot decoder (truncation, bit flips, version skew).
 # FUZZTIME sets the budget per target (default 30s above).
 fuzz:
 	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzUnitSample -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzLambdaCode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/checkpoint -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 
 # Short-budget fuzz pass for CI — the same recipe, smaller budget.
 fuzz-smoke:

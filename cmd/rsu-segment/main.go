@@ -38,10 +38,12 @@ func main() {
 		ropt    runopt.Flags
 		uqf     runopt.UQFlags
 		faultf  runopt.FaultFlags
+		ckptf   runopt.CheckpointFlags
 	)
 	ropt.Register(flag.CommandLine)
 	uqf.Register(flag.CommandLine)
 	faultf.Register(flag.CommandLine)
+	ckptf.Register(flag.CommandLine)
 	flag.Parse()
 
 	p := segment.DefaultParams()
@@ -51,6 +53,9 @@ func main() {
 	p.UQ = uqf.Options()
 	var err error
 	if p.Faults, err = faultf.Config(*sampler, *seed); err != nil {
+		log.Fatal(err)
+	}
+	if p.Checkpoint, err = ckptf.Plan("segment", *sampler, *seed); err != nil {
 		log.Fatal(err)
 	}
 
@@ -85,6 +90,7 @@ func main() {
 	p.OnSweep = rt.Hook(scene.Name, nil)
 
 	res, err := segment.Solve(scene, nil, p)
+	runopt.ReportResume(os.Stdout, p.Checkpoint)
 	if err != nil {
 		rt.Close()
 		log.Fatal(err)

@@ -12,7 +12,10 @@
 //
 // SIGINT/SIGTERM starts a graceful drain: readiness flips to 503, accepted
 // jobs finish, and after -drain-timeout any still-running solves are
-// cancelled at their next sweep boundary.
+// cancelled at their next sweep boundary. With -checkpoint-dir set, jobs a
+// hard drain interrupts persist their solver state there, and the next
+// rsu-serve start re-enqueues them, resuming each solve bit-exactly where it
+// was cancelled.
 package main
 
 import (
@@ -39,6 +42,7 @@ func main() {
 		defTimeout    = flag.Duration("default-timeout", time.Minute, "job timeout when the spec sets none (0 = unbounded)")
 		maxTimeout    = flag.Duration("max-timeout", 10*time.Minute, "upper bound on any per-job timeout (0 = no cap)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+		ckptDir       = flag.String("checkpoint-dir", "", "directory for drain checkpoints (empty = disabled); snapshots found at startup are re-enqueued and resumed")
 		pairCache     = flag.Int("pair-cache", 64, "pairwise-LUT cache capacity (design points)")
 		datasetCache  = flag.Int("dataset-cache", 32, "dataset cache capacity (scenes)")
 		convCache     = flag.Int("conv-cache", 0, "lambda-conversion table cache capacity (0 = default)")
@@ -51,12 +55,23 @@ func main() {
 		SolverWorkers:  *solverWorkers,
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
+		CheckpointDir:  *ckptDir,
 		Cache: serve.CacheConfig{
 			PairCapacity:      *pairCache,
 			DatasetCapacity:   *datasetCache,
 			ConverterCapacity: *convCache,
 		},
 	})
+
+	if *ckptDir != "" {
+		jobs, err := svc.Recover()
+		if err != nil {
+			log.Fatalf("recover: %v", err)
+		}
+		if n := len(jobs); n > 0 {
+			log.Printf("recovered %d checkpointed job(s) from %s", n, *ckptDir)
+		}
+	}
 
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

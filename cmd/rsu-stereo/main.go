@@ -36,10 +36,12 @@ func main() {
 		ropt    runopt.Flags
 		uqf     runopt.UQFlags
 		faultf  runopt.FaultFlags
+		ckptf   runopt.CheckpointFlags
 	)
 	ropt.Register(flag.CommandLine)
 	uqf.Register(flag.CommandLine)
 	faultf.Register(flag.CommandLine)
+	ckptf.Register(flag.CommandLine)
 	flag.Parse()
 
 	var pair *synth.StereoPair
@@ -64,6 +66,9 @@ func main() {
 	if p.Faults, err = faultf.Config(*sampler, *seed); err != nil {
 		log.Fatal(err)
 	}
+	if p.Checkpoint, err = ckptf.Plan("stereo", *sampler, *seed); err != nil {
+		log.Fatal(err)
+	}
 
 	build, err := core.SamplerBuilder(*sampler)
 	if err != nil {
@@ -81,6 +86,7 @@ func main() {
 	p.OnSweep = rt.Hook(*dataset, nil)
 
 	res, err := stereo.Solve(pair, nil, p)
+	runopt.ReportResume(os.Stdout, p.Checkpoint)
 	if err != nil {
 		rt.Close()
 		log.Fatal(err)

@@ -10,6 +10,7 @@
 //	rsu-verify -update-golden        # regenerate the golden trace files
 //	rsu-verify -skip-battery         # skip the per-draw distribution battery
 //	rsu-verify -skip-marginals       # skip the posterior-marginal battery
+//	rsu-verify -skip-checkpoint      # skip the checkpoint/resume gate
 //
 // Exit status is non-zero when any battery check fails its
 // Bonferroni-corrected threshold or any golden trace drifts.
@@ -33,6 +34,7 @@ func main() {
 		skipBattery = flag.Bool("skip-battery", false, "skip the distribution battery")
 		replicates  = flag.Int("replicates", 2000, "marginal-battery replicate chains per (grid, point, solver)")
 		skipMarg    = flag.Bool("skip-marginals", false, "skip the posterior-marginal battery")
+		skipCkpt    = flag.Bool("skip-checkpoint", false, "skip the checkpoint/resume bit-exactness gate")
 		verbose     = flag.Bool("v", false, "print every battery check")
 	)
 	flag.Parse()
@@ -123,6 +125,21 @@ func main() {
 	}
 	if len(errs) == 0 {
 		fmt.Printf("golden (zero-fault injection): %d traces match\n", len(conformance.Scenarios()))
+	}
+
+	// The bit-exact resume guarantee: interrupt every golden scenario at the
+	// schedule midpoint, resume from the snapshot through a full container
+	// round trip, and require the spliced trace to match the golden
+	// byte-for-byte (see conformance.VerifyCheckpointResume).
+	if !*skipCkpt {
+		errs = conformance.VerifyCheckpointResume(*goldenDir)
+		for _, err := range errs {
+			failed = true
+			fmt.Fprintln(os.Stderr, "rsu-verify:", err)
+		}
+		if len(errs) == 0 {
+			fmt.Printf("golden (checkpoint resume): %d traces match\n", len(conformance.Scenarios()))
+		}
 	}
 
 	if failed {

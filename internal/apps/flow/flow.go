@@ -10,6 +10,7 @@ import (
 	"context"
 	"math"
 
+	"rsu/internal/checkpoint"
 	"rsu/internal/core"
 	"rsu/internal/fault"
 	"rsu/internal/img"
@@ -69,6 +70,12 @@ type Params struct {
 	// carries a fault.Report with the UQ-based degradation verdict when UQ
 	// also ran. The pyramid solver ignores it for the same reason as UQ.
 	Faults *fault.Config
+	// Checkpoint, when non-nil, wires snapshot persistence into Solve:
+	// periodic (and on-cancel) state capture plus resume from an existing
+	// snapshot (see package checkpoint). The pyramid solver ignores it —
+	// its per-level problems have different shapes, so one snapshot cannot
+	// span the run.
+	Checkpoint *checkpoint.Plan
 }
 
 // ctx resolves the solve context.
@@ -167,9 +174,19 @@ func Solve(pair *synth.FlowPair, sampler core.LabelSampler, p Params) (*Result, 
 		return nil, err
 	}
 	opts.Faults = inj
+	if p.Checkpoint != nil {
+		if err := p.Checkpoint.Attach(&opts, p.Schedule); err != nil {
+			return nil, err
+		}
+	}
 	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory, p.Schedule, opts)
 	if err != nil {
 		return nil, err
+	}
+	if p.Checkpoint != nil {
+		if err := p.Checkpoint.Finish(); err != nil {
+			return nil, err
+		}
 	}
 	n := pair.Frame0.W * pair.Frame0.H
 	pu := make([]float64, n)

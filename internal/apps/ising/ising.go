@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"math"
 
+	"rsu/internal/checkpoint"
 	"rsu/internal/core"
 	"rsu/internal/fault"
 	"rsu/internal/img"
 	"rsu/internal/mrf"
 	"rsu/internal/rng"
+	"rsu/internal/wire"
 )
 
 // CriticalTemperature is Onsager's exact Tc for the square-lattice Ising
@@ -62,6 +64,12 @@ type Model struct {
 	// fault.Report. Ising has no labeling posterior, so the report never
 	// sets the UQ-based Degraded flag.
 	Faults *fault.Config
+	// Checkpoint, when non-nil, wires snapshot persistence into Run:
+	// periodic (and on-cancel) state capture plus resume from an existing
+	// snapshot (see package checkpoint). The measurement accumulator is part
+	// of the captured state, so resumed observables match an uninterrupted
+	// run exactly.
+	Checkpoint *checkpoint.Plan
 }
 
 // DefaultModel returns a 32x32 lattice with J = 16, h = 0.
@@ -144,15 +152,19 @@ func (m Model) Run(s core.LabelSampler, T float64, burn, measure int, seed uint6
 	for i := 0; i < m.N; i++ {
 		init.L[int(src.Uint64()%uint64(m.N*m.N))] = 0
 	}
-	var obs Observables
-	count := 0
 	ctx := m.Ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Measurement runs as a stateful collector so a checkpointed run carries
+	// its partial sums: a resume continues the observable accumulation
+	// exactly where the snapshot left it.
+	acc := &measureAcc{model: m, burn: burn}
 	opts := mrf.SolveOptions{
-		Init:    init,
-		Workers: m.Workers,
+		Init:      init,
+		Workers:   m.Workers,
+		OnSweep:   m.OnSweep,
+		Collector: acc,
 	}
 	inj, err := fault.New(m.Faults)
 	if err != nil {
@@ -166,29 +178,90 @@ func (m Model) Run(s core.LabelSampler, T float64, burn, measure int, seed uint6
 		}
 		opts.Tables = tab
 	}
-	opts.OnSweep = func(iter int, lab *img.Labels, st mrf.SolveStats) {
-		if iter >= burn {
-			mag, e := m.measure(lab)
-			obs.Magnetization += mag
-			obs.Energy += e
-			count++
-		}
-		if m.OnSweep != nil {
-			m.OnSweep(iter, lab, st)
+	sched := mrf.Schedule{T0: T * m.J, Alpha: 1, Iterations: burn + measure}
+	if m.Checkpoint != nil {
+		if err := m.Checkpoint.Attach(&opts, sched); err != nil {
+			return Observables{}, err
 		}
 	}
-	_, err = mrf.SolveWithCtx(ctx, prob, s, m.SamplerFactory,
-		mrf.Schedule{T0: T * m.J, Alpha: 1, Iterations: burn + measure}, opts)
+	_, err = mrf.SolveWithCtx(ctx, prob, s, m.SamplerFactory, sched, opts)
 	if err != nil {
 		return Observables{}, err
 	}
-	obs.Magnetization /= float64(count)
-	obs.Energy /= float64(count)
+	if m.Checkpoint != nil {
+		if err := m.Checkpoint.Finish(); err != nil {
+			return Observables{}, err
+		}
+	}
+	obs := Observables{
+		Magnetization: acc.mag / float64(acc.count),
+		Energy:        acc.energy / float64(acc.count),
+	}
 	if inj != nil {
 		obs.Faults = inj.Report(0, false)
 	}
 	return obs, nil
 }
+
+// measureAcc accumulates the post-burn-in observables as an mrf collector.
+// It implements mrf.StatefulCollector so checkpointed runs capture the
+// partial sums; the floats are serialized as exact bit patterns, keeping
+// resumed averages identical to an uninterrupted run's.
+type measureAcc struct {
+	model  Model
+	burn   int
+	count  int64
+	mag    float64
+	energy float64
+}
+
+// Collect measures the lattice after each post-burn-in sweep.
+func (a *measureAcc) Collect(sweep int, lab *img.Labels) {
+	if sweep < a.burn {
+		return
+	}
+	mag, e := a.model.measure(lab)
+	a.mag += mag
+	a.energy += e
+	a.count++
+}
+
+// CaptureState serializes the accumulator for the checkpoint subsystem.
+func (a *measureAcc) CaptureState() ([]byte, error) {
+	b := make([]byte, 0, 32)
+	b = wire.AppendI64(b, int64(a.burn))
+	b = wire.AppendI64(b, a.count)
+	b = wire.AppendF64(b, a.mag)
+	b = wire.AppendF64(b, a.energy)
+	return b, nil
+}
+
+// RestoreState overwrites the accumulator from a CaptureState blob.
+func (a *measureAcc) RestoreState(b []byte) error {
+	r := wire.NewReader(b)
+	burn := r.I64()
+	count := r.I64()
+	mag := r.F64()
+	energy := r.F64()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("ising: corrupt measurement state: %w", err)
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("ising: %d trailing bytes after measurement state", r.Len())
+	}
+	if int(burn) != a.burn {
+		return fmt.Errorf("ising: state has burn-in %d, this run uses %d", burn, a.burn)
+	}
+	if count < 0 {
+		return fmt.Errorf("ising: negative measurement count %d", count)
+	}
+	a.count = count
+	a.mag = mag
+	a.energy = energy
+	return nil
+}
+
+var _ mrf.StatefulCollector = (*measureAcc)(nil)
 
 // measure computes |m| and the per-spin coupling energy of a configuration.
 func (m Model) measure(lab *img.Labels) (mag, energy float64) {

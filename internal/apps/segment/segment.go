@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"rsu/internal/checkpoint"
 	"rsu/internal/core"
 	"rsu/internal/fault"
 	"rsu/internal/img"
@@ -61,6 +62,11 @@ type Params struct {
 	// hardware samplers (see fault.Config); the Result then carries a
 	// fault.Report with the UQ-based degradation verdict when UQ also ran.
 	Faults *fault.Config
+	// Checkpoint, when non-nil, wires snapshot persistence into the solve:
+	// periodic (and on-cancel) state capture plus resume from an existing
+	// snapshot (see package checkpoint). The plan's snapshot is removed
+	// after a successful solve.
+	Checkpoint *checkpoint.Plan
 }
 
 // ctx resolves the solve context.
@@ -206,10 +212,20 @@ func Solve(scene *synth.SegScene, sampler core.LabelSampler, p Params) (*Result,
 		return nil, err
 	}
 	opts.Faults = inj
-	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory,
-		mrf.Schedule{T0: p.Temperature, Alpha: 1, Iterations: p.Iterations}, opts)
+	sched := mrf.Schedule{T0: p.Temperature, Alpha: 1, Iterations: p.Iterations}
+	if p.Checkpoint != nil {
+		if err := p.Checkpoint.Attach(&opts, sched); err != nil {
+			return nil, err
+		}
+	}
+	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory, sched, opts)
 	if err != nil {
 		return nil, err
+	}
+	if p.Checkpoint != nil {
+		if err := p.Checkpoint.Finish(); err != nil {
+			return nil, err
+		}
 	}
 	res := &Result{
 		Scene:    scene,

@@ -9,6 +9,7 @@ import (
 	"context"
 	"math"
 
+	"rsu/internal/checkpoint"
 	"rsu/internal/core"
 	"rsu/internal/fault"
 	"rsu/internal/img"
@@ -64,6 +65,11 @@ type Params struct {
 	// fault.DegradedConfidence marks the run Degraded. nil — or all-zero
 	// rates — leaves the solve byte-identical to the ideal device.
 	Faults *fault.Config
+	// Checkpoint, when non-nil, wires snapshot persistence into the solve:
+	// periodic (and on-cancel) state capture plus resume from an existing
+	// snapshot, with the bit-exact guarantee documented in package
+	// checkpoint. The plan's snapshot is removed after a successful solve.
+	Checkpoint *checkpoint.Plan
 }
 
 // ctx resolves the solve context.
@@ -162,9 +168,19 @@ func Solve(pair *synth.StereoPair, sampler core.LabelSampler, p Params) (*Result
 		return nil, err
 	}
 	opts.Faults = inj
+	if p.Checkpoint != nil {
+		if err := p.Checkpoint.Attach(&opts, p.Schedule); err != nil {
+			return nil, err
+		}
+	}
 	lab, err := mrf.SolveWithCtx(p.ctx(), prob, sampler, p.SamplerFactory, p.Schedule, opts)
 	if err != nil {
 		return nil, err
+	}
+	if p.Checkpoint != nil {
+		if err := p.Checkpoint.Finish(); err != nil {
+			return nil, err
+		}
 	}
 	res := &Result{
 		Pair:       pair,

@@ -1,0 +1,294 @@
+// Package checkpoint is the versioned binary snapshot format for solver
+// state — the persistence layer of the bit-exact resume guarantee. A
+// snapshot captures an mrf.SolverState (grid, per-worker RNG words and
+// counters, schedule position, incremental energy, fault and collector
+// state) together with the run metadata needed to reject a mismatched
+// resume: application, sampler kind, seed and annealing schedule.
+//
+// The container format (DESIGN.md §14):
+//
+//	offset  size  field
+//	0       8     magic "RSUCKPT\n"
+//	8       4     format version (little-endian u32); readers reject newer
+//	12      4     reserved flags (must be zero)
+//	16      8     payload length N (little-endian u64)
+//	24      N     payload (wire-encoded snapshot body)
+//	24+N    4     CRC-32C (Castagnoli) over bytes [0, 24+N)
+//
+// Integrity failures (bad magic, flags, truncation, CRC mismatch, malformed
+// payload) decode as errors wrapping ErrCorrupt; a version newer than this
+// reader understands wraps ErrVersion — forward-compat rejection, so an old
+// binary never misparses a new snapshot. Write is atomic (tmp file + fsync +
+// rename), so a crash mid-snapshot never corrupts the previous checkpoint.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"rsu/internal/core"
+	"rsu/internal/mrf"
+	"rsu/internal/wire"
+)
+
+// Version is the current snapshot format version.
+const Version = 1
+
+// magic identifies a snapshot file. The trailing newline catches ASCII-mode
+// transfer mangling the same way PNG's magic does.
+var magic = []byte("RSUCKPT\n")
+
+var (
+	// ErrCorrupt marks a snapshot that failed an integrity check: bad magic,
+	// truncation, CRC mismatch, or a malformed payload.
+	ErrCorrupt = errors.New("checkpoint: corrupt snapshot")
+	// ErrVersion marks a snapshot written by a newer format version.
+	ErrVersion = errors.New("checkpoint: unsupported snapshot version")
+)
+
+// Limits bounding attacker-chosen dimensions during decode. They are far
+// above anything the solvers run but small enough that a fuzzed length can
+// never drive a multi-gigabyte allocation.
+const (
+	maxDim     = 1 << 20 // per-axis grid bound
+	maxPixels  = 1 << 28 // W*H bound
+	maxLabels  = 1 << 20
+	maxWorkers = 1 << 16
+)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Snapshot is one serialized solver state plus the metadata that pins which
+// run it belongs to.
+type Snapshot struct {
+	// App names the application driver ("stereo", "flow", "segment",
+	// "ising", or a caller-chosen tag).
+	App string
+	// Sampler is the sampler kind the run was built with ("software", "new",
+	// "prev"); resuming under a different kind would silently change the
+	// draw sequence, so Plan.Attach rejects it.
+	Sampler string
+	// Seed is the run's master RNG seed.
+	Seed uint64
+	// Schedule is the annealing schedule of the capturing run. Resume
+	// requires exact equality — the temperature product is part of state.
+	Schedule mrf.Schedule
+	// Aux is opaque caller payload carried alongside the state; the serving
+	// layer stores the resolved job spec here so a restart can rebuild the
+	// job from the snapshot alone.
+	Aux []byte
+	// State is the captured solver state.
+	State mrf.SolverState
+}
+
+// Encode serializes the snapshot into the framed, CRC-protected container.
+func Encode(s *Snapshot) []byte {
+	st := &s.State
+	payload := make([]byte, 0, 256+4*len(st.Grid)+len(s.Aux))
+	payload = wire.AppendString(payload, s.App)
+	payload = wire.AppendString(payload, s.Sampler)
+	payload = wire.AppendU64(payload, s.Seed)
+	payload = wire.AppendF64(payload, s.Schedule.T0)
+	payload = wire.AppendF64(payload, s.Schedule.Alpha)
+	payload = wire.AppendI64(payload, int64(s.Schedule.Iterations))
+	payload = wire.AppendF64(payload, s.Schedule.TFloor)
+	payload = wire.AppendBytes(payload, s.Aux)
+
+	payload = wire.AppendI64(payload, int64(st.W))
+	payload = wire.AppendI64(payload, int64(st.H))
+	payload = wire.AppendI64(payload, int64(st.Labels))
+	payload = wire.AppendI64(payload, int64(st.Workers))
+	payload = wire.AppendI64(payload, int64(st.NextSweep))
+	payload = wire.AppendF64(payload, st.NextT)
+	payload = wire.AppendF64(payload, st.Energy)
+	payload = wire.AppendBool(payload, st.EnergyTracked)
+	payload = wire.AppendU64(payload, uint64(len(st.Grid)))
+	for _, l := range st.Grid {
+		payload = wire.AppendU32(payload, uint32(l))
+	}
+	payload = wire.AppendU64(payload, uint64(len(st.Samplers)))
+	for _, ss := range st.Samplers {
+		for _, w := range ss.RNG {
+			payload = wire.AppendU64(payload, w)
+		}
+		payload = wire.AppendI64(payload, int64(ss.Stats.Evaluations))
+		payload = wire.AppendI64(payload, int64(ss.Stats.LabelEvals))
+		payload = wire.AppendI64(payload, int64(ss.Stats.Cutoffs))
+		payload = wire.AppendI64(payload, int64(ss.Stats.Truncated))
+		payload = wire.AppendI64(payload, int64(ss.Stats.NoFire))
+		payload = wire.AppendI64(payload, int64(ss.Stats.Ties))
+	}
+	payload = wire.AppendBool(payload, st.Faults != nil)
+	if st.Faults != nil {
+		payload = wire.AppendU64(payload, uint64(len(st.Faults)))
+		for _, f := range st.Faults {
+			payload = wire.AppendBytes(payload, f)
+		}
+	}
+	payload = wire.AppendBool(payload, st.Collector != nil)
+	if st.Collector != nil {
+		payload = wire.AppendBytes(payload, st.Collector)
+	}
+
+	out := make([]byte, 0, len(magic)+16+len(payload)+4)
+	out = append(out, magic...)
+	out = wire.AppendU32(out, Version)
+	out = wire.AppendU32(out, 0) // reserved flags
+	out = wire.AppendU64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	out = wire.AppendU32(out, crc32.Checksum(out, castagnoli))
+	return out
+}
+
+// corrupt wraps a decode failure with the ErrCorrupt sentinel.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Decode parses and validates a snapshot container. Every failure mode maps
+// to a typed sentinel: integrity problems wrap ErrCorrupt, a newer format
+// version wraps ErrVersion. The returned snapshot owns its memory (nothing
+// aliases b except Aux and the opaque fault/collector blobs, which are
+// copied too).
+func Decode(b []byte) (*Snapshot, error) {
+	if len(b) < len(magic)+16+4 {
+		return nil, corrupt("%d bytes is shorter than the minimal container", len(b))
+	}
+	r := wire.NewReader(b[:len(b)-4])
+	r.Expect(magic, "magic")
+	version := r.U32()
+	flags := r.U32()
+	plen := r.U64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if version > Version {
+		return nil, fmt.Errorf("%w: snapshot is version %d, this reader understands <= %d", ErrVersion, version, Version)
+	}
+	if version == 0 {
+		return nil, corrupt("version 0 is invalid")
+	}
+	if flags != 0 {
+		return nil, corrupt("reserved flags %#x are non-zero", flags)
+	}
+	// CRC covers everything before the trailing checksum; verify before
+	// trusting the payload length or anything inside it.
+	wantCRC := uint32(b[len(b)-4]) | uint32(b[len(b)-3])<<8 | uint32(b[len(b)-2])<<16 | uint32(b[len(b)-1])<<24
+	if got := crc32.Checksum(b[:len(b)-4], castagnoli); got != wantCRC {
+		return nil, corrupt("CRC mismatch: computed %#08x, stored %#08x", got, wantCRC)
+	}
+	if plen != uint64(r.Len()) {
+		return nil, corrupt("payload length %d does not match %d remaining bytes", plen, r.Len())
+	}
+
+	s := &Snapshot{}
+	s.App = r.String()
+	s.Sampler = r.String()
+	s.Seed = r.U64()
+	s.Schedule.T0 = r.F64()
+	s.Schedule.Alpha = r.F64()
+	s.Schedule.Iterations = int(r.I64())
+	s.Schedule.TFloor = r.F64()
+	s.Aux = append([]byte(nil), r.Bytes()...)
+	if len(s.Aux) == 0 {
+		s.Aux = nil
+	}
+
+	st := &s.State
+	st.W = int(r.I64())
+	st.H = int(r.I64())
+	st.Labels = int(r.I64())
+	st.Workers = int(r.I64())
+	st.NextSweep = int(r.I64())
+	st.NextT = r.F64()
+	st.Energy = r.F64()
+	st.EnergyTracked = r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if st.W < 1 || st.W > maxDim || st.H < 1 || st.H > maxDim || st.W*st.H > maxPixels {
+		return nil, corrupt("grid dimensions %dx%d out of range", st.W, st.H)
+	}
+	if st.Labels < 1 || st.Labels > maxLabels {
+		return nil, corrupt("label count %d out of range", st.Labels)
+	}
+	if st.Workers < 1 || st.Workers > maxWorkers {
+		return nil, corrupt("worker count %d out of range", st.Workers)
+	}
+	if err := s.Schedule.Validate(); err != nil {
+		return nil, corrupt("schedule: %v", err)
+	}
+	if st.NextSweep < 0 || st.NextSweep > s.Schedule.Iterations {
+		return nil, corrupt("next sweep %d outside schedule of %d iterations", st.NextSweep, s.Schedule.Iterations)
+	}
+	if !(st.NextT > 0) || math.IsInf(st.NextT, 1) {
+		return nil, corrupt("next temperature %v must be positive and finite", st.NextT)
+	}
+	if math.IsNaN(st.Energy) {
+		return nil, corrupt("energy is NaN")
+	}
+
+	ngrid := r.Count(4)
+	if r.Err() == nil && ngrid != st.W*st.H {
+		return nil, corrupt("grid has %d cells, dimensions say %d", ngrid, st.W*st.H)
+	}
+	st.Grid = make([]int, ngrid)
+	for i := range st.Grid {
+		l := r.U32()
+		if r.Err() == nil && int(l) >= st.Labels {
+			return nil, corrupt("grid cell %d holds label %d, run has %d labels", i, l, st.Labels)
+		}
+		st.Grid[i] = int(l)
+	}
+
+	nsamp := r.Count(4*8 + 6*8)
+	if r.Err() == nil && nsamp != st.Workers {
+		return nil, corrupt("%d sampler states for %d workers", nsamp, st.Workers)
+	}
+	st.Samplers = make([]core.SamplerState, nsamp)
+	for i := range st.Samplers {
+		ss := &st.Samplers[i]
+		for j := range ss.RNG {
+			ss.RNG[j] = r.U64()
+		}
+		ss.Stats.Evaluations = int(r.I64())
+		ss.Stats.LabelEvals = int(r.I64())
+		ss.Stats.Cutoffs = int(r.I64())
+		ss.Stats.Truncated = int(r.I64())
+		ss.Stats.NoFire = int(r.I64())
+		ss.Stats.Ties = int(r.I64())
+		if r.Err() == nil {
+			if ss.RNG[0]|ss.RNG[1]|ss.RNG[2]|ss.RNG[3] == 0 {
+				return nil, corrupt("sampler %d has the all-zero RNG state", i)
+			}
+			if ss.Stats.Evaluations < 0 || ss.Stats.LabelEvals < 0 || ss.Stats.Cutoffs < 0 ||
+				ss.Stats.Truncated < 0 || ss.Stats.NoFire < 0 || ss.Stats.Ties < 0 {
+				return nil, corrupt("sampler %d has negative counters", i)
+			}
+		}
+	}
+
+	if r.Bool() {
+		nf := r.Count(8)
+		if r.Err() == nil && nf != st.Workers {
+			return nil, corrupt("%d fault states for %d workers", nf, st.Workers)
+		}
+		st.Faults = make([][]byte, nf)
+		for i := range st.Faults {
+			st.Faults[i] = append([]byte(nil), r.Bytes()...)
+		}
+	}
+	if r.Bool() {
+		st.Collector = append([]byte(nil), r.Bytes()...)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if r.Len() != 0 {
+		return nil, corrupt("%d trailing bytes after payload", r.Len())
+	}
+	return s, nil
+}

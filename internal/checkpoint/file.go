@@ -1,0 +1,60 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Write atomically persists the snapshot at path: the container is written
+// to a temporary file in the same directory, fsynced, and renamed over the
+// destination. A crash at any point leaves either the previous checkpoint
+// or the new one — never a torn file. The temporary file is removed on every
+// failure path.
+func Write(path string, s *Snapshot) error {
+	data := Encode(s)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	// fsync before rename: the rename must never become visible ahead of the
+	// data it points at, or a crash between the two leaves a truncated
+	// "complete" snapshot.
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Read loads and decodes the snapshot at path. Missing files surface the
+// underlying fs.ErrNotExist (callers distinguish "no checkpoint yet" from
+// corruption); integrity failures wrap ErrCorrupt, newer versions ErrVersion.
+func Read(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,52 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecode hammers the snapshot decoder with corpus-derived corruption —
+// truncations, bit flips, version skew, resized length fields. The invariant:
+// Decode never panics, never allocates absurdly, and every accepted input
+// re-encodes to a container that decodes to the same snapshot (accepting
+// implies canonical).
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(sampleSnapshot()))
+	f.Add(Encode(minimalSnapshot()))
+	// Seed structured corruption so coverage starts past the magic check.
+	base := Encode(sampleSnapshot())
+	for _, n := range []int{0, 7, 8, 12, 16, 23, 24, len(base) - 5, len(base) - 1} {
+		if n >= 0 && n <= len(base) {
+			f.Add(append([]byte(nil), base[:n]...))
+		}
+	}
+	for _, off := range []int{0, 8, 12, 16, 30, len(base) - 2} {
+		mut := append([]byte(nil), base...)
+		mut[off] ^= 0x40
+		f.Add(mut)
+	}
+	skew := append([]byte(nil), base...)
+	skew[8] = Version + 9
+	f.Add(appendCRC(skew[:len(skew)-4]))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("decode error outside the sentinel taxonomy: %v", err)
+			}
+			return
+		}
+		// Round-trip canonicality: what decodes must re-encode and decode
+		// back to an identical container.
+		re := Encode(s)
+		s2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted snapshot failed: %v", err)
+		}
+		if !bytes.Equal(re, Encode(s2)) {
+			t.Fatal("re-encode is not canonical")
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+
+	"rsu/internal/mrf"
+)
+
+// Plan wires checkpointing into one solve: where to persist snapshots, how
+// often, and whether to resume from an existing one. The application drivers
+// accept a *Plan and call Attach before solving and Finish after a
+// successful solve; everything else (atomic writes, validation, metadata
+// stamping) happens here.
+type Plan struct {
+	// Path is the snapshot file. Empty disables persistence (only useful
+	// together with From, e.g. the serving layer handing in a pre-loaded
+	// snapshot while managing files itself).
+	Path string
+	// Every is the periodic capture cadence in sweeps; <= 0 captures only on
+	// cancellation.
+	Every int
+	// Resume, when true, restores Path's snapshot if the file exists. A
+	// missing file is a fresh start, not an error — the flag is "continue if
+	// you can", so restart loops need no existence probe.
+	Resume bool
+	// From, when non-nil, is a pre-loaded snapshot to resume from; it takes
+	// precedence over reading Path.
+	From *Snapshot
+	// App, Sampler and Seed stamp written snapshots and must match a resumed
+	// snapshot's metadata exactly — resuming a stereo run's state into a
+	// flow solve, under a different sampler kind, or with a different seed
+	// would silently change the draw sequence.
+	App     string
+	Sampler string
+	Seed    uint64
+	// Aux is carried verbatim in written snapshots (see Snapshot.Aux).
+	Aux []byte
+	// Gate, when non-nil, is consulted before every write; returning false
+	// skips it. The serving layer gates on-cancel snapshots to drain-induced
+	// cancellations so a client hanging up doesn't litter the checkpoint
+	// directory.
+	Gate func() bool
+	// OnWrite, when non-nil, is notified after each successful write (the
+	// serving layer counts these).
+	OnWrite func(path string)
+
+	resumed *Snapshot
+}
+
+// Resumed returns the snapshot a preceding Attach restored, or nil when the
+// run started fresh — the CLIs report the resume point from this.
+func (pl *Plan) Resumed() *Snapshot { return pl.resumed }
+
+// Attach loads (or takes) the snapshot to resume, validates its metadata
+// against the plan and the run's schedule, and installs the checkpoint hooks
+// on opts. Problem-shape validation happens inside the solver, which sees
+// both the snapshot and the problem.
+func (pl *Plan) Attach(opts *mrf.SolveOptions, sched mrf.Schedule) error {
+	if pl.Path == "" && pl.From == nil {
+		return fmt.Errorf("checkpoint: plan needs a path or a pre-loaded snapshot")
+	}
+	snap := pl.From
+	if snap == nil && pl.Resume {
+		s, err := Read(pl.Path)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// Fresh start: nothing to resume yet.
+		case err != nil:
+			return err
+		default:
+			snap = s
+		}
+	}
+	if snap != nil {
+		if err := pl.validate(snap, sched); err != nil {
+			return err
+		}
+		opts.Resume = &snap.State
+		pl.resumed = snap
+	}
+	if pl.Path != "" {
+		opts.CheckpointEvery = pl.Every
+		opts.OnCheckpoint = func(st *mrf.SolverState) error {
+			if pl.Gate != nil && !pl.Gate() {
+				return nil
+			}
+			out := &Snapshot{
+				App: pl.App, Sampler: pl.Sampler, Seed: pl.Seed,
+				Schedule: sched, Aux: pl.Aux, State: *st,
+			}
+			if err := Write(pl.Path, out); err != nil {
+				return err
+			}
+			if pl.OnWrite != nil {
+				pl.OnWrite(pl.Path)
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// validate rejects a snapshot whose run identity differs from the plan's.
+// Schedule equality is exact (it is comparable float state); empty plan
+// metadata fields skip their check so callers without a sampler notion can
+// still resume.
+func (pl *Plan) validate(s *Snapshot, sched mrf.Schedule) error {
+	if pl.App != "" && s.App != pl.App {
+		return fmt.Errorf("checkpoint: snapshot belongs to app %q, this run is %q", s.App, pl.App)
+	}
+	if pl.Sampler != "" && s.Sampler != "" && s.Sampler != pl.Sampler {
+		return fmt.Errorf("checkpoint: snapshot was captured with sampler %q, this run uses %q", s.Sampler, pl.Sampler)
+	}
+	if s.Seed != pl.Seed {
+		return fmt.Errorf("checkpoint: snapshot was captured with seed %d, this run uses %d", s.Seed, pl.Seed)
+	}
+	if s.Schedule != sched {
+		return fmt.Errorf("checkpoint: snapshot schedule %+v does not match this run's %+v", s.Schedule, sched)
+	}
+	return nil
+}
+
+// Finish removes the snapshot file after a successful solve — a completed
+// run leaves nothing to resume, and a stale snapshot would otherwise hijack
+// the next -resume run of the same path. Missing files are fine (the run may
+// never have checkpointed).
+func (pl *Plan) Finish() error {
+	if pl.Path == "" {
+		return nil
+	}
+	if err := os.Remove(pl.Path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}

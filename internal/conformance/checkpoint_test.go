@@ -1,0 +1,16 @@
+package conformance
+
+import "testing"
+
+// TestCheckpointResumeMatchesGoldens is the in-repo form of the rsu-verify
+// checkpoint gate: every app × worker-count scenario, interrupted at the
+// midpoint and resumed through a full container round trip, must reproduce
+// the checked-in golden trace byte-for-byte.
+func TestCheckpointResumeMatchesGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint resume battery is not short")
+	}
+	for _, err := range VerifyCheckpointResume(goldenDir) {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"rsu/internal/rng"
+)
+
+// SamplerState is the mutable state of one label sampler that a bit-exact
+// resume must restore: the four xoshiro256** state words of its RNG stream
+// and the accumulated observability counters. Everything else a sampler
+// holds (conversion tables, survival caches, scratch buffers) is a pure
+// deterministic function of its configuration and the current temperature,
+// which the solver re-applies on every sweep — rebuilding it after restore
+// yields byte-identical tables.
+type SamplerState struct {
+	// RNG holds the xoshiro256** state words (see rng.Xoshiro256.State).
+	RNG [4]uint64
+	// Stats carries the accumulated counters so a resumed run reports the
+	// same totals as an uninterrupted one.
+	Stats Stats
+}
+
+// Checkpointable is implemented by samplers that can capture and restore
+// their mutable state for bit-exact resume. Both the RSU-G Unit and the
+// software baseline implement it when driven by the default xoshiro
+// generator; samplers over other rng.Source implementations report an error
+// from CaptureState (their generator state is not serializable).
+type Checkpointable interface {
+	CaptureState() (SamplerState, error)
+	RestoreState(SamplerState) error
+}
+
+// CaptureState implements Checkpointable. It fails when the Unit's source is
+// not the default xoshiro256** generator — only the default generator
+// exposes its state words.
+func (u *Unit) CaptureState() (SamplerState, error) {
+	if u.srcX == nil {
+		return SamplerState{}, fmt.Errorf("core: sampler source %T is not checkpointable (need *rng.Xoshiro256)", u.src)
+	}
+	return SamplerState{RNG: u.srcX.State(), Stats: u.stats}, nil
+}
+
+// RestoreState implements Checkpointable: it overwrites the RNG stream and
+// the counters. Conversion and survival tables are left alone — they are
+// deterministic functions of (config, temperature) and the solver re-issues
+// SetTemperature before the first resumed sweep.
+func (u *Unit) RestoreState(s SamplerState) error {
+	if u.srcX == nil {
+		return fmt.Errorf("core: sampler source %T is not checkpointable (need *rng.Xoshiro256)", u.src)
+	}
+	if err := u.srcX.SetState(s.RNG); err != nil {
+		return err
+	}
+	u.stats = s.Stats
+	return nil
+}
+
+// CaptureState implements Checkpointable for the software baseline. Like the
+// Unit, it requires the default xoshiro generator.
+func (s *SoftwareSampler) CaptureState() (SamplerState, error) {
+	x, ok := s.src.(*rng.Xoshiro256)
+	if !ok {
+		return SamplerState{}, fmt.Errorf("core: sampler source %T is not checkpointable (need *rng.Xoshiro256)", s.src)
+	}
+	return SamplerState{RNG: x.State()}, nil
+}
+
+// RestoreState implements Checkpointable.
+func (s *SoftwareSampler) RestoreState(st SamplerState) error {
+	x, ok := s.src.(*rng.Xoshiro256)
+	if !ok {
+		return fmt.Errorf("core: sampler source %T is not checkpointable (need *rng.Xoshiro256)", s.src)
+	}
+	return x.SetState(st.RNG)
+}
+
+var (
+	_ Checkpointable = (*Unit)(nil)
+	_ Checkpointable = (*SoftwareSampler)(nil)
+)

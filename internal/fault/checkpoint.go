@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"fmt"
+
+	"rsu/internal/ret"
+	"rsu/internal/rng"
+	"rsu/internal/wire"
+)
+
+// CaptureState serializes the model's mutable state — RNG words, window
+// counter, bound window length, drifting yield, stuck-row set, counters and
+// the per-row residual-network states — as an opaque blob for the checkpoint
+// subsystem. The config is NOT captured: a restored model must be rebuilt
+// from the same validated Config (the snapshot container records it), which
+// keeps the blob free of anything Validate would need to re-check.
+func (m *Model) CaptureState() ([]byte, error) {
+	x, ok := m.src.(*rng.Xoshiro256)
+	if !ok {
+		return nil, fmt.Errorf("fault: model source %T is not checkpointable (need *rng.Xoshiro256)", m.src)
+	}
+	st := x.State()
+	b := make([]byte, 0, 128+24*len(m.nets))
+	for _, w := range st {
+		b = wire.AppendU64(b, w)
+	}
+	b = wire.AppendI64(b, m.window)
+	b = wire.AppendI64(b, int64(m.winBins))
+	b = wire.AppendF64(b, m.yield)
+	b = wire.AppendI64(b, m.stats.Evaluations)
+	b = wire.AppendI64(b, m.stats.BleedChecks)
+	b = wire.AppendI64(b, m.stats.BleedThrough)
+	b = wire.AppendI64(b, m.stats.DarkCounts)
+	b = wire.AppendI64(b, m.stats.StuckWindows)
+	b = wire.AppendI64(b, m.stats.DriftTruncations)
+	b = wire.AppendF64(b, m.stats.MinYield)
+	b = wire.AppendU64(b, uint64(len(m.stuck)))
+	for _, s := range m.stuck {
+		b = wire.AppendBool(b, s)
+	}
+	b = wire.AppendU64(b, uint64(len(m.nets)))
+	for _, n := range m.nets {
+		ns := n.State()
+		b = wire.AppendF64(b, ns.Yield)
+		b = wire.AppendI64(b, ns.Excitations)
+		b = wire.AppendI64(b, ns.Pending)
+	}
+	return b, nil
+}
+
+// RestoreState overwrites the model's mutable state from a CaptureState
+// blob. The model must have been built from the same Config (same row
+// count); a blob whose shapes disagree with the model is rejected, leaving
+// the model unchanged on every error path that matters for reuse (state is
+// staged fully before the first field is written).
+func (m *Model) RestoreState(b []byte) error {
+	x, ok := m.src.(*rng.Xoshiro256)
+	if !ok {
+		return fmt.Errorf("fault: model source %T is not checkpointable (need *rng.Xoshiro256)", m.src)
+	}
+	r := wire.NewReader(b)
+	var st [4]uint64
+	for i := range st {
+		st[i] = r.U64()
+	}
+	window := r.I64()
+	winBins := r.I64()
+	yield := r.F64()
+	var stats Stats
+	stats.Evaluations = r.I64()
+	stats.BleedChecks = r.I64()
+	stats.BleedThrough = r.I64()
+	stats.DarkCounts = r.I64()
+	stats.StuckWindows = r.I64()
+	stats.DriftTruncations = r.I64()
+	stats.MinYield = r.F64()
+	nstuck := r.Count(1)
+	stuck := make([]bool, nstuck)
+	for i := range stuck {
+		stuck[i] = r.Bool()
+	}
+	nnets := r.Count(24)
+	nets := make([]ret.NetworkState, nnets)
+	for i := range nets {
+		nets[i] = ret.NetworkState{Yield: r.F64(), Excitations: r.I64(), Pending: r.I64()}
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("fault: corrupt model state: %w", err)
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("fault: %d trailing bytes after model state", r.Len())
+	}
+	switch {
+	case nstuck != len(m.stuck) || nnets != len(m.nets):
+		return fmt.Errorf("fault: state has %d stuck rows / %d networks, model has %d/%d",
+			nstuck, nnets, len(m.stuck), len(m.nets))
+	case window < 0:
+		return fmt.Errorf("fault: restored window counter %d is negative", window)
+	case winBins < 0:
+		return fmt.Errorf("fault: restored window length %d is negative", winBins)
+	case !(yield > 0 && yield <= 1):
+		return fmt.Errorf("fault: restored yield %v outside (0,1]", yield)
+	}
+	for i, ns := range nets {
+		if !(ns.Yield > 0 && ns.Yield <= 1) || ns.Excitations < 0 || ns.Pending < -1 {
+			return fmt.Errorf("fault: network %d state %+v is invalid", i, ns)
+		}
+	}
+	if err := x.SetState(st); err != nil {
+		return err
+	}
+	m.window = window
+	m.yield = yield
+	m.stats = stats
+	copy(m.stuck, stuck)
+	if winBins > 0 {
+		m.bind(int(winBins))
+	} else {
+		m.winBins = 0
+	}
+	for i, ns := range nets {
+		if err := m.nets[i].RestoreState(ns); err != nil {
+			return fmt.Errorf("fault: network %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CaptureStates captures the state of worker streams 0..workers-1 for the
+// checkpoint subsystem, building any model that has not been used yet (the
+// build is deterministic per stream, so capturing an untouched model records
+// exactly the state a fresh resume would rebuild).
+func (inj *Injection) CaptureStates(workers int) ([][]byte, error) {
+	states := make([][]byte, workers)
+	for w := 0; w < workers; w++ {
+		b, err := inj.Model(w).CaptureState()
+		if err != nil {
+			return nil, fmt.Errorf("fault: worker %d: %w", w, err)
+		}
+		states[w] = b
+	}
+	return states, nil
+}
+
+// RestoreStates restores worker stream w's model from states[w] for every
+// captured stream, building models on demand. The injection must carry the
+// same Config the capturing injection did — the snapshot container is
+// responsible for recording and re-validating it.
+func (inj *Injection) RestoreStates(states [][]byte) error {
+	for w, b := range states {
+		if err := inj.Model(w).RestoreState(b); err != nil {
+			return fmt.Errorf("fault: worker %d: %w", w, err)
+		}
+	}
+	return nil
+}

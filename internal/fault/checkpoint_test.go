@@ -1,0 +1,151 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"rsu/internal/rng"
+)
+
+var ckptCfg = Config{BleedThrough: 0.1, DarkCountPerBin: 0.005, StuckRow: 0.2, Drift: 0.01, Seed: 7}
+
+// perturbSeq drives n evaluation windows and returns the perturbed bins.
+func perturbSeq(m *Model, n int) []int {
+	out := make([]int, 0, 4*n)
+	for i := 0; i < n; i++ {
+		bins := []int{10 + i%7, 20, 5 + i%3, 40}
+		m.PerturbBins(bins, 64)
+		out = append(out, bins...)
+	}
+	return out
+}
+
+func intsEqual(t *testing.T, what string, a, b []int) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: first difference at %d: %d vs %d", what, i, a[i], b[i])
+		}
+	}
+}
+
+// TestModelCheckpointRoundTrip: capture mid-run, restore into a freshly built
+// model with the same config, and verify the perturbation sequence, yield and
+// counters continue identically.
+func TestModelCheckpointRoundTrip(t *testing.T) {
+	m := NewModel(ckptCfg, rng.NewXoshiro256(1001))
+	perturbSeq(m, 300)
+	st, err := m.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := perturbSeq(m, 150)
+	wantStats := m.Stats()
+
+	fresh := NewModel(ckptCfg, rng.NewXoshiro256(9999)) // wrong seed; restore overwrites
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	got := perturbSeq(fresh, 150)
+	intsEqual(t, "perturbed bins after restore", want, got)
+	if gotStats := fresh.Stats(); gotStats != wantStats {
+		t.Fatalf("stats after restore: %+v, want %+v", gotStats, wantStats)
+	}
+	if fresh.Yield() != m.Yield() {
+		t.Fatalf("yield after restore: %v, want %v", fresh.Yield(), m.Yield())
+	}
+}
+
+// TestModelCheckpointUntouched: capturing a model that has never perturbed
+// anything and restoring it reproduces the from-scratch sequence.
+func TestModelCheckpointUntouched(t *testing.T) {
+	m := NewModel(ckptCfg, rng.NewXoshiro256(55))
+	st, err := m.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := perturbSeq(m, 100)
+
+	fresh := NewModel(ckptCfg, rng.NewXoshiro256(55))
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	intsEqual(t, "untouched-model restore", want, perturbSeq(fresh, 100))
+}
+
+func TestModelRestoreRejections(t *testing.T) {
+	m := NewModel(ckptCfg, rng.NewXoshiro256(3))
+	perturbSeq(m, 10)
+	st, err := m.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.RestoreState(st[:len(st)-1]); err == nil {
+		t.Error("truncated blob accepted")
+	}
+	if err := m.RestoreState(append(append([]byte(nil), st...), 0)); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing-bytes blob: %v", err)
+	}
+	// A model with a different stuck-row lottery (different config) has
+	// different shapes only if row counts differ; yield validation still
+	// guards cross-config blobs. Zero the RNG words: must be rejected.
+	zeroRNG := append([]byte(nil), st...)
+	for i := 0; i < 32; i++ {
+		zeroRNG[i] = 0
+	}
+	if err := m.RestoreState(zeroRNG); err == nil {
+		t.Error("all-zero RNG words accepted")
+	}
+
+	// Non-xoshiro source cannot capture or restore.
+	soft := NewModel(ckptCfg, rng.NewSplitMix64(1))
+	if _, err := soft.CaptureState(); err == nil {
+		t.Error("capture over splitmix accepted")
+	}
+	if err := soft.RestoreState(st); err == nil {
+		t.Error("restore over splitmix accepted")
+	}
+}
+
+// TestInjectionCaptureRestoreStates: the per-worker wrappers build models on
+// demand and route blobs to the right streams.
+func TestInjectionCaptureRestoreStates(t *testing.T) {
+	cfg := ckptCfg
+	inj, err := New(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbSeq(inj.Model(0), 50)
+	perturbSeq(inj.Model(1), 20)
+	states, err := inj.CaptureStates(3) // worker 2 never touched: built lazily
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 3 {
+		t.Fatalf("%d states, want 3", len(states))
+	}
+	want := [][]int{
+		perturbSeq(inj.Model(0), 40),
+		perturbSeq(inj.Model(1), 40),
+		perturbSeq(inj.Model(2), 40),
+	}
+
+	inj2, err := New(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj2.RestoreStates(states); err != nil {
+		t.Fatal(err)
+	}
+	for w := range want {
+		intsEqual(t, "injection worker", want[w], perturbSeq(inj2.Model(w), 40))
+	}
+	if inj2.Stats() != inj.Stats() {
+		t.Fatalf("aggregate stats: %+v vs %+v", inj2.Stats(), inj.Stats())
+	}
+}

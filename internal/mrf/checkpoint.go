@@ -1,0 +1,233 @@
+package mrf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rsu/internal/core"
+	"rsu/internal/img"
+)
+
+// StatefulCollector is a Collector whose accumulated observations can be
+// captured into and restored from an opaque blob, making it resumable. The
+// uncertainty-quantification accumulator (internal/uq) implements it. A
+// checkpointing run whose Collector does not implement this interface fails
+// at capture time: silently dropping collector state would break the
+// bit-exact resume guarantee for the run's UQ outputs.
+type StatefulCollector interface {
+	Collector
+	CaptureState() ([]byte, error)
+	RestoreState([]byte) error
+}
+
+// SolverState is the complete between-sweeps state of a solve — everything a
+// bit-exact resume needs. It is deliberately a plain data value: the
+// checkpoint container (internal/checkpoint) owns serialization, versioning
+// and integrity checking.
+//
+// The bit-exactness argument, component by component (DESIGN.md §14):
+//
+//   - Grid is the labeling after sweep NextSweep-1; sweeps only read and
+//     write the grid.
+//   - Samplers holds each worker's RNG words and counters. All conversion,
+//     survival and guide tables are deterministic functions of (config,
+//     temperature) rebuilt identically on resume; the solver re-issues
+//     SetTemperature at the top of every sweep.
+//   - NextT is the running-product temperature for sweep NextSweep. The
+//     iterator is a pure fold (t *= alpha, pinned at the floor), so seeding
+//     it with the captured product continues the exact float sequence.
+//   - Energy is the incremental accumulator (initial TotalEnergy plus every
+//     accepted FlipDelta in worker order). Recomputing TotalEnergy on the
+//     restored grid would agree only to rounding; restoring the accumulator
+//     keeps run logs byte-identical.
+//   - Faults and Collector are the opaque states of the per-worker fault
+//     models and the attached collector, captured through their own
+//     CaptureState methods.
+type SolverState struct {
+	// W, H, Labels pin the problem shape the snapshot belongs to.
+	W, H, Labels int
+	// Workers is the logical worker count (1 for the serial solver). The
+	// executor count is NOT part of solver state: any executor count replays
+	// the same logical workers bit-identically.
+	Workers int
+	// NextSweep is the index of the first sweep that has not run yet; it
+	// equals Schedule.Iterations when the run finished.
+	NextSweep int
+	// NextT is the running-product temperature for sweep NextSweep.
+	NextT float64
+	// Grid is the labeling after sweep NextSweep-1, in row-major order.
+	Grid []int
+	// Energy is the incrementally tracked total MRF energy after sweep
+	// NextSweep-1; valid only when EnergyTracked.
+	Energy float64
+	// EnergyTracked records whether the captured run maintained the
+	// incremental energy (OnSweep was set).
+	EnergyTracked bool
+	// Samplers holds one state per logical worker, in worker order.
+	Samplers []core.SamplerState
+	// Faults holds one opaque fault-model state per logical worker when the
+	// run had fault injection configured; nil otherwise.
+	Faults [][]byte
+	// Collector is the attached collector's opaque state; nil when the run
+	// had no collector.
+	Collector []byte
+}
+
+// captureState snapshots the complete solver state between sweeps.
+// nextSweep/nextT name the first un-run sweep and its temperature; energy is
+// the incremental accumulator (meaningful when track).
+func captureState(p *Problem, lab *img.Labels, samplers []core.LabelSampler, opts SolveOptions,
+	nextSweep int, nextT float64, energy float64, track bool) (*SolverState, error) {
+	st := &SolverState{
+		W: p.W, H: p.H, Labels: p.Labels,
+		Workers:       len(samplers),
+		NextSweep:     nextSweep,
+		NextT:         nextT,
+		Grid:          append([]int(nil), lab.L...),
+		Energy:        energy,
+		EnergyTracked: track,
+		Samplers:      make([]core.SamplerState, len(samplers)),
+	}
+	if !track {
+		st.Energy = 0
+	}
+	for i, s := range samplers {
+		c, ok := s.(core.Checkpointable)
+		if !ok {
+			return nil, fmt.Errorf("mrf: sampler %d (%T) does not support checkpointing", i, s)
+		}
+		ss, err := c.CaptureState()
+		if err != nil {
+			return nil, fmt.Errorf("mrf: sampler %d: %w", i, err)
+		}
+		st.Samplers[i] = ss
+	}
+	if opts.Faults != nil {
+		fs, err := opts.Faults.CaptureStates(len(samplers))
+		if err != nil {
+			return nil, err
+		}
+		st.Faults = fs
+	}
+	if opts.Collector != nil {
+		sc, ok := opts.Collector.(StatefulCollector)
+		if !ok {
+			return nil, fmt.Errorf("mrf: collector %T does not support checkpointing (implement StatefulCollector)", opts.Collector)
+		}
+		cb, err := sc.CaptureState()
+		if err != nil {
+			return nil, fmt.Errorf("mrf: collector: %w", err)
+		}
+		st.Collector = cb
+	}
+	return st, nil
+}
+
+// applyResume restores every stateful component from the snapshot into the
+// already-constructed run (samplers built, faults attached, collector
+// wired). Shape checks that depend only on the problem live in prepare; the
+// checks here are the run-configuration ones — worker count, fault and
+// collector presence must match the capturing run exactly, because a
+// mismatch silently changes the draw sequence.
+func applyResume(st *SolverState, sched Schedule, samplers []core.LabelSampler, opts SolveOptions) error {
+	if st.Workers != len(samplers) || len(st.Samplers) != len(samplers) {
+		return fmt.Errorf("mrf: snapshot captured %d workers (%d sampler states), resuming with %d",
+			st.Workers, len(st.Samplers), len(samplers))
+	}
+	if st.NextSweep < 0 || st.NextSweep > sched.Iterations {
+		return fmt.Errorf("mrf: snapshot resumes at sweep %d, schedule has %d iterations", st.NextSweep, sched.Iterations)
+	}
+	if !(st.NextT > 0) || math.IsInf(st.NextT, 1) {
+		return fmt.Errorf("mrf: snapshot temperature %v must be positive and finite", st.NextT)
+	}
+	for i, s := range samplers {
+		c, ok := s.(core.Checkpointable)
+		if !ok {
+			return fmt.Errorf("mrf: sampler %d (%T) does not support resume", i, s)
+		}
+		if err := c.RestoreState(st.Samplers[i]); err != nil {
+			return fmt.Errorf("mrf: sampler %d: %w", i, err)
+		}
+	}
+	switch {
+	case opts.Faults != nil && st.Faults == nil:
+		return fmt.Errorf("mrf: fault injection is configured but the snapshot carries no fault state")
+	case opts.Faults == nil && st.Faults != nil:
+		return fmt.Errorf("mrf: snapshot carries fault state but no fault injection is configured")
+	case st.Faults != nil:
+		if len(st.Faults) != len(samplers) {
+			return fmt.Errorf("mrf: snapshot has %d fault states for %d workers", len(st.Faults), len(samplers))
+		}
+		if err := opts.Faults.RestoreStates(st.Faults); err != nil {
+			return err
+		}
+	}
+	switch {
+	case opts.Collector != nil && st.Collector == nil:
+		return fmt.Errorf("mrf: a collector is attached but the snapshot carries no collector state")
+	case opts.Collector == nil && st.Collector != nil:
+		return fmt.Errorf("mrf: snapshot carries collector state but no collector is attached")
+	case st.Collector != nil:
+		sc, ok := opts.Collector.(StatefulCollector)
+		if !ok {
+			return fmt.Errorf("mrf: collector %T cannot restore snapshot state (implement StatefulCollector)", opts.Collector)
+		}
+		if err := sc.RestoreState(st.Collector); err != nil {
+			return fmt.Errorf("mrf: collector: %w", err)
+		}
+	}
+	return nil
+}
+
+// resumeIter rebuilds the running-product temperature iterator at the
+// snapshot's position: seeding the product with the captured NextT continues
+// the exact float sequence an uninterrupted run would have produced (next()
+// is a pure fold over t).
+func resumeIter(st *SolverState, sched Schedule) tempIter {
+	return tempIter{t: st.NextT, alpha: sched.Alpha, floor: sched.floor()}
+}
+
+// periodicCheckpoint fires the OnCheckpoint hook after sweep k when the
+// periodic cadence hits. It never fires for the final sweep — the run is
+// about to return its result, so there is nothing left worth resuming. A
+// capture or hook failure aborts the solve: the caller asked for durability,
+// and silently continuing without it would turn a full-disk into lost work
+// discovered only after the next crash.
+func periodicCheckpoint(p *Problem, lab *img.Labels, samplers []core.LabelSampler, opts SolveOptions,
+	k int, ti tempIter, energy float64, track bool, iterations int) error {
+	if opts.OnCheckpoint == nil || opts.CheckpointEvery <= 0 {
+		return nil
+	}
+	if (k+1)%opts.CheckpointEvery != 0 || k+1 >= iterations {
+		return nil
+	}
+	st, err := captureState(p, lab, samplers, opts, k+1, ti.t, energy, track)
+	if err != nil {
+		return fmt.Errorf("mrf: sweep %d checkpoint: %w", k, err)
+	}
+	if err := opts.OnCheckpoint(st); err != nil {
+		return fmt.Errorf("mrf: sweep %d checkpoint: %w", k, err)
+	}
+	return nil
+}
+
+// cancelCheckpoint captures a final snapshot when a run is cancelled, so the
+// in-flight work survives the cancellation (the serving layer's drain path
+// and the CLI's -timeout both rely on this). The snapshot resumes at sweep
+// k — the sweep the cancellation pre-empted. Capture or hook errors are
+// joined onto the cancellation cause rather than replacing it.
+func cancelCheckpoint(cause error, p *Problem, lab *img.Labels, samplers []core.LabelSampler, opts SolveOptions,
+	k int, ti tempIter, energy float64, track bool) error {
+	if opts.OnCheckpoint == nil {
+		return cause
+	}
+	st, err := captureState(p, lab, samplers, opts, k, ti.t, energy, track)
+	if err != nil {
+		return errors.Join(cause, fmt.Errorf("mrf: cancellation checkpoint: %w", err))
+	}
+	if err := opts.OnCheckpoint(st); err != nil {
+		return errors.Join(cause, fmt.Errorf("mrf: cancellation checkpoint: %w", err))
+	}
+	return cause
+}

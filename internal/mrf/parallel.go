@@ -302,10 +302,24 @@ func SolveParallelCtx(ctx context.Context, p *Problem, samplers []core.LabelSamp
 	if track {
 		energy = tab.TotalEnergy(lab)
 	}
+	first := 0
 	ti := sched.iter()
-	for k := 0; k < sched.Iterations; k++ {
+	if st := opts.Resume; st != nil {
+		if err := applyResume(st, sched, samplers, opts); err != nil {
+			return nil, err
+		}
+		first = st.NextSweep
+		ti = resumeIter(st, sched)
+		if track && st.EnergyTracked {
+			// Restore the incremental accumulator (initial TotalEnergy plus
+			// worker-ordered FlipDeltas); recomputing it from the restored
+			// grid would only agree to rounding.
+			energy = st.Energy
+		}
+	}
+	for k := first; k < sched.Iterations; k++ {
 		if err := ctx.Err(); err != nil {
-			return lab, err
+			return lab, cancelCheckpoint(err, p, lab, samplers, opts, k, ti, energy, track)
 		}
 		start := time.Now()
 		T := ti.next()
@@ -327,6 +341,9 @@ func SolveParallelCtx(ctx context.Context, p *Problem, samplers []core.LabelSamp
 		// post-sweep labeling regardless of Workers/Executors counts.
 		if opts.Collector != nil {
 			opts.Collector.Collect(k, lab)
+		}
+		if err := periodicCheckpoint(p, lab, samplers, opts, k, ti, energy, track, sched.Iterations); err != nil {
+			return lab, err
 		}
 	}
 	return lab, nil

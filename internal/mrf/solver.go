@@ -179,6 +179,29 @@ type SolveOptions struct {
 	// attached injection whose rates are all zero — leaves every solver path
 	// byte-identical to the golden traces (the zero-fault invariant).
 	Faults *fault.Injection
+	// CheckpointEvery, with OnCheckpoint set, captures a SolverState snapshot
+	// after every CheckpointEvery-th sweep (never after the final one). 0
+	// disables periodic capture; OnCheckpoint then still fires once on
+	// cancellation. Captures happen between sweeps on the goroutine driving
+	// the solve, so they never race the workers and cost nothing when off.
+	CheckpointEvery int
+	// OnCheckpoint, when non-nil, receives each captured snapshot (periodic
+	// and on-cancellation). The SolverState and everything it references is
+	// freshly allocated per capture and safe to retain. An error aborts the
+	// solve (periodic) or is joined onto the cancellation cause — a caller
+	// that asked for durability must hear that it was not delivered.
+	// Checkpointing requires every sampler (and the Collector, if any) to be
+	// checkpointable; the first capture reports a violation as an error.
+	OnCheckpoint func(*SolverState) error
+	// Resume, when non-nil, restores a previously captured snapshot instead
+	// of starting fresh: the grid, every worker's RNG stream and counters,
+	// the schedule position, the incremental energy, and the fault/collector
+	// state. The run configuration must match the capturing run (problem
+	// shape, worker count, schedule, fault and collector presence); Init is
+	// ignored. A resumed run is bit-identical to the uninterrupted one — the
+	// guarantee rsu-verify's checkpoint gate enforces against all golden
+	// traces.
+	Resume *SolverState
 }
 
 // attachFaults installs opts.Faults' per-stream models on the samplers and
@@ -221,7 +244,18 @@ func prepare(p *Problem, sched Schedule, opts SolveOptions) (*img.Labels, *Table
 		return nil, nil, err
 	}
 	lab := opts.Init
-	if lab == nil {
+	if st := opts.Resume; st != nil {
+		// A snapshot overrides Init: its grid IS the labeling mid-run.
+		if st.W != p.W || st.H != p.H || st.Labels != p.Labels {
+			return nil, nil, fmt.Errorf("mrf: snapshot shape %dx%d/%d labels does not match problem %dx%d/%d",
+				st.W, st.H, st.Labels, p.W, p.H, p.Labels)
+		}
+		if len(st.Grid) != p.W*p.H {
+			return nil, nil, fmt.Errorf("mrf: snapshot grid has %d labels, problem needs %d", len(st.Grid), p.W*p.H)
+		}
+		lab = img.NewLabels(p.W, p.H)
+		copy(lab.L, st.Grid)
+	} else if lab == nil {
 		lab = img.NewLabels(p.W, p.H)
 	} else {
 		if lab.W != p.W || lab.H != p.H {
@@ -346,11 +380,26 @@ func SolveCtx(ctx context.Context, p *Problem, sampler core.LabelSampler, sched 
 		return nil, err
 	}
 	defer attachFaults(opts, sampler)()
+	samplers := []core.LabelSampler{sampler}
 	sw := newSerialSweeper(p, tab, lab, sampler, opts.OnSweep != nil)
+	first := 0
 	ti := sched.iter()
-	for k := 0; k < sched.Iterations; k++ {
+	if st := opts.Resume; st != nil {
+		if err := applyResume(st, sched, samplers, opts); err != nil {
+			return nil, err
+		}
+		first = st.NextSweep
+		ti = resumeIter(st, sched)
+		if sw.track && st.EnergyTracked {
+			// Restore the incremental accumulator rather than keeping the
+			// TotalEnergy recomputation: the two agree only to rounding, and
+			// resumed run logs must be byte-identical.
+			sw.energy = st.Energy
+		}
+	}
+	for k := first; k < sched.Iterations; k++ {
 		if err := ctx.Err(); err != nil {
-			return lab, err
+			return lab, cancelCheckpoint(err, p, lab, samplers, opts, k, ti, sw.energy, sw.track)
 		}
 		start := time.Now()
 		T := ti.next()
@@ -366,6 +415,9 @@ func SolveCtx(ctx context.Context, p *Problem, sampler core.LabelSampler, sched 
 		}
 		if opts.Collector != nil {
 			opts.Collector.Collect(k, lab)
+		}
+		if err := periodicCheckpoint(p, lab, samplers, opts, k, ti, sw.energy, sw.track, sched.Iterations); err != nil {
+			return lab, err
 		}
 	}
 	return lab, nil

@@ -105,6 +105,40 @@ func (n *Network) Emission(from, to int64) (int64, bool) {
 // Excited reports whether an emission is still pending at time now.
 func (n *Network) Excited(now int64) bool { return n.pending >= now }
 
+// NetworkState is the mutable part of a Network, exported for checkpointing.
+// Concentration and BleachPerExcitation are configuration, not state: a
+// restored network must be rebuilt with the same constructor parameters.
+type NetworkState struct {
+	// Yield is the surviving quantum-yield fraction in (0, 1].
+	Yield float64
+	// Excitations is the Excite-call count.
+	Excitations int64
+	// Pending is the absolute bin time of the next emission, or -1.
+	Pending int64
+}
+
+// State captures the network's mutable state for checkpointing.
+func (n *Network) State() NetworkState {
+	return NetworkState{Yield: n.yield, Excitations: n.excitations, Pending: n.pending}
+}
+
+// RestoreState overwrites the network's mutable state from a capture. The
+// restored network behaves bit-identically to the captured one from this
+// point on (its randomness comes from the caller-supplied source).
+func (n *Network) RestoreState(s NetworkState) error {
+	if !(s.Yield > 0 && s.Yield <= 1) {
+		return fmt.Errorf("ret: restored yield %v outside (0,1]", s.Yield)
+	}
+	if s.Excitations < 0 {
+		return fmt.Errorf("ret: restored excitation count %d is negative", s.Excitations)
+	}
+	if s.Pending < -1 {
+		return fmt.Errorf("ret: restored pending time %d is invalid", s.Pending)
+	}
+	n.yield, n.excitations, n.pending = s.Yield, s.Excitations, s.Pending
+	return nil
+}
+
 // Reset clears any pending emission (photo-bleaching mitigation / recovery
 // periods in test harnesses).
 func (n *Network) Reset() { n.pending = -1 }

@@ -1,0 +1,53 @@
+package ret
+
+import (
+	"testing"
+
+	"rsu/internal/rng"
+)
+
+// TestNetworkStateRoundTrip: a restored network continues the emission
+// sequence exactly as the original would.
+func TestNetworkStateRoundTrip(t *testing.T) {
+	src := rng.NewXoshiro256(42)
+	n := NewNetwork(0.8)
+	for i := int64(0); i < 50; i++ {
+		n.Excite(i*100, 1.0, 0.05, src)
+	}
+	st := n.State()
+	if st.Yield != n.Yield() || st.Excitations != n.Excitations() {
+		t.Fatalf("State() disagrees with accessors: %+v", st)
+	}
+
+	m := NewNetwork(0.3) // different concentration path; restore overwrites
+	if err := m.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	for w := int64(50); w < 60; w++ {
+		from, to := w*100, w*100+99
+		gb, gok := n.Emission(from, to)
+		wb, wok := m.Emission(from, to)
+		if gb != wb || gok != wok {
+			t.Fatalf("window %d: emission (%d,%v) vs (%d,%v)", w, gb, gok, wb, wok)
+		}
+	}
+}
+
+func TestNetworkRestoreStateValidation(t *testing.T) {
+	n := NewNetwork(0.5)
+	before := n.State()
+	bad := []NetworkState{
+		{Yield: 0, Excitations: 0, Pending: -1},
+		{Yield: 1.5, Excitations: 0, Pending: -1},
+		{Yield: 0.5, Excitations: -1, Pending: -1},
+		{Yield: 0.5, Excitations: 0, Pending: -2},
+	}
+	for i, s := range bad {
+		if err := n.RestoreState(s); err == nil {
+			t.Errorf("case %d: state %+v accepted", i, s)
+		}
+		if n.State() != before {
+			t.Fatalf("case %d: failed restore mutated the network", i)
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package rng
 
+import "fmt"
+
 // SplitMix64 is the 64-bit mixing generator from Vigna's splitmix64. It is
 // used directly for cheap simulation randomness and to seed the larger-state
 // generators in this package.
@@ -41,6 +43,26 @@ func NewXoshiro256(seed uint64) *Xoshiro256 {
 		x.s0 = 0x9e3779b97f4a7c15
 	}
 	return x
+}
+
+// State returns the generator's four 256-bit-state words, in order. Together
+// with SetState it makes the generator checkpointable: a generator restored
+// from a captured state emits exactly the draw sequence the original would
+// have emitted from the capture point on.
+func (x *Xoshiro256) State() [4]uint64 {
+	return [4]uint64{x.s0, x.s1, x.s2, x.s3}
+}
+
+// SetState overwrites the generator state with previously captured words.
+// The all-zero state is xoshiro's fixed point (every draw would be 0) and can
+// never be produced by NewXoshiro256 or by stepping a valid state, so it is
+// rejected: encountering it means the snapshot is corrupt, not old.
+func (x *Xoshiro256) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return fmt.Errorf("rng: all-zero xoshiro256 state is invalid")
+	}
+	x.s0, x.s1, x.s2, x.s3 = s[0], s[1], s[2], s[3]
+	return nil
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

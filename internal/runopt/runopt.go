@@ -14,6 +14,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"rsu/internal/checkpoint"
 	"rsu/internal/fault"
 	"rsu/internal/img"
 	"rsu/internal/mrf"
@@ -77,6 +78,59 @@ func (f *UQFlags) Options() *uq.Options {
 		return nil
 	}
 	return &uq.Options{BurnIn: f.BurnIn, Thin: f.Thin}
+}
+
+// CheckpointFlags are the snapshot persistence flags shared by the rsu-*
+// solvers: -checkpoint names the snapshot file, -checkpoint-every the
+// periodic capture cadence, and -resume restores an existing snapshot (a
+// missing file is a fresh start, so restart loops can always pass -resume).
+type CheckpointFlags struct {
+	// Path is the snapshot file; empty disables checkpointing.
+	Path string
+	// Every is the periodic capture cadence in sweeps; <= 0 captures only
+	// when the run is cancelled (timeout or signal).
+	Every int
+	// Resume restores Path's snapshot when the file exists.
+	Resume bool
+}
+
+// Register installs the checkpoint flags on fs.
+func (f *CheckpointFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Path, "checkpoint", "",
+		"snapshot file for checkpoint/resume (empty = off)")
+	fs.IntVar(&f.Every, "checkpoint-every", 10,
+		"write a snapshot every N sweeps (<= 0 = only on cancellation)")
+	fs.BoolVar(&f.Resume, "resume", false,
+		"resume from -checkpoint if the file exists (bit-exact continuation)")
+}
+
+// Plan maps the flags onto a checkpoint.Plan for the app params, nil when
+// -checkpoint was not passed. app, sampler and seed pin the run identity a
+// resumed snapshot must match.
+func (f *CheckpointFlags) Plan(app, sampler string, seed uint64) (*checkpoint.Plan, error) {
+	if f.Path == "" {
+		if f.Resume {
+			return nil, fmt.Errorf("runopt: -resume requires -checkpoint")
+		}
+		return nil, nil
+	}
+	return &checkpoint.Plan{
+		Path: f.Path, Every: f.Every, Resume: f.Resume,
+		App: app, Sampler: sampler, Seed: seed,
+	}, nil
+}
+
+// ReportResume prints the resume point when the plan restored a snapshot. pl
+// may be nil (no -checkpoint) — the tools call it unconditionally after
+// building params.
+func ReportResume(w io.Writer, pl *checkpoint.Plan) {
+	if pl == nil {
+		return
+	}
+	if s := pl.Resumed(); s != nil {
+		fmt.Fprintf(w, "resuming %s from sweep %d/%d (%s)\n",
+			s.App, s.State.NextSweep, s.Schedule.Iterations, pl.Path)
+	}
 }
 
 // FaultFlags are the device-fault injection flags shared by the rsu-*

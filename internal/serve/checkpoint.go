@@ -1,0 +1,149 @@
+package serve
+
+// Drain checkpointing and restart recovery (DESIGN.md §14). When
+// Config.CheckpointDir is set, every job runs under a checkpoint.Plan whose
+// write gate admits only drain-induced cancellations: a hard drain persists
+// each in-flight job's solver state to its own snapshot file, and the next
+// process calls Recover to re-enqueue those jobs, resuming each solve
+// bit-exactly at the sweep the drain pre-empted. A client hanging up or a
+// per-job timeout is NOT a drain — those cancellations write nothing, so the
+// checkpoint directory only ever holds work the operator chose to interrupt.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rsu/internal/checkpoint"
+)
+
+// drainGate admits checkpoint writes only during a hard drain. Client
+// cancellations and per-job timeouts also reach the solver's on-cancel
+// capture path, but nobody will ever resume those jobs — persisting them
+// would litter the checkpoint directory with snapshots Recover dutifully
+// re-runs for no one.
+func (s *Service) drainGate() bool { return s.hard.Err() != nil }
+
+// checkpointPlan returns the job's checkpoint plan: the pre-built one for a
+// recovered job, a fresh drain-gated plan when checkpointing is configured,
+// nil otherwise. Fresh snapshot paths embed the boot nonce so they can never
+// collide with same-ID files left behind by a previous process.
+func (s *Service) checkpointPlan(j *Job) *checkpoint.Plan {
+	if j.ckpt != nil {
+		return j.ckpt
+	}
+	if s.cfg.CheckpointDir == "" {
+		return nil
+	}
+	spec := j.Spec.withDefaults()
+	aux, err := json.Marshal(spec)
+	if err != nil {
+		return nil
+	}
+	return &checkpoint.Plan{
+		Path:    filepath.Join(s.cfg.CheckpointDir, j.ID+"-"+s.boot+".ckpt"),
+		App:     spec.App,
+		Sampler: spec.Sampler,
+		Seed:    spec.Seed,
+		Aux:     aux,
+		Gate:    s.drainGate,
+		OnWrite: func(string) { s.metrics.CheckpointsWritten.Add(1) },
+	}
+}
+
+// Recover scans the checkpoint directory for snapshots a previous process's
+// hard drain left behind and re-enqueues each as a new job that resumes from
+// the persisted state (the job spec travels inside the snapshot's Aux
+// payload, so recovery needs no external job store). Corrupt, unreadable, or
+// spec-less snapshots are counted and quarantined — renamed to
+// <name>.corrupt for post-mortem — and never block recovery of the rest.
+//
+// Call Recover once, after New and before serving traffic. It returns the
+// re-enqueued jobs; callers wanting the results can Wait on them like any
+// submission. Recovery stops with an error if the queue fills or the service
+// is already draining; snapshots not yet re-enqueued stay in place for the
+// next attempt.
+func (s *Service) Recover() ([]*Job, error) {
+	if s.cfg.CheckpointDir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.cfg.CheckpointDir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("serve: recover: %w", err)
+	}
+	var jobs []*Job
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ckpt") {
+			continue
+		}
+		path := filepath.Join(s.cfg.CheckpointDir, e.Name())
+		snap, err := checkpoint.Read(path)
+		if err != nil {
+			s.quarantine(path)
+			continue
+		}
+		var spec JobSpec
+		if err := json.Unmarshal(snap.Aux, &spec); err != nil || spec.Validate() != nil {
+			s.quarantine(path)
+			continue
+		}
+		// The recovered job keeps writing to its original path (a second
+		// drain just refreshes the same file) and Finish removes it once the
+		// resumed solve completes.
+		plan := &checkpoint.Plan{
+			Path:    path,
+			From:    snap,
+			App:     snap.App,
+			Sampler: snap.Sampler,
+			Seed:    snap.Seed,
+			Aux:     snap.Aux,
+			Gate:    s.drainGate,
+			OnWrite: func(string) { s.metrics.CheckpointsWritten.Add(1) },
+		}
+		j, err := s.resubmit(spec, plan)
+		if err != nil {
+			return jobs, fmt.Errorf("serve: recover %s: %w", e.Name(), err)
+		}
+		s.metrics.CheckpointsResumed.Add(1)
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+// quarantine sidelines a snapshot Recover could not use so the next Recover
+// does not trip over it again, and counts it.
+func (s *Service) quarantine(path string) {
+	s.metrics.CheckpointsCorrupt.Add(1)
+	_ = os.Rename(path, path+".corrupt")
+}
+
+// resubmit enqueues a recovered job. It mirrors Submit's context plumbing —
+// the spec's timeout applies afresh to the resumed leg, and a hard drain
+// still cancels the job — but derives from the background context (the
+// original submitter is gone) and carries the pre-built checkpoint plan.
+func (s *Service) resubmit(spec JobSpec, plan *checkpoint.Plan) (*Job, error) {
+	jctx, cancel := context.WithCancel(context.Background())
+	if d := spec.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout); d > 0 {
+		jctx, cancel = context.WithTimeout(context.Background(), d)
+	}
+	stop := context.AfterFunc(s.hard, cancel)
+	j := &Job{
+		Spec:      spec,
+		ctx:       jctx,
+		cancel:    cancel,
+		stopAfter: stop,
+		accepted:  time.Now(),
+		done:      make(chan struct{}),
+		ckpt:      plan,
+	}
+	return s.enqueue(j)
+}

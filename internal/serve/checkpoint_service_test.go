@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ckptSpec is long enough to interrupt mid-run under the race detector but
+// short enough that both the reference and the resumed leg finish quickly.
+func ckptSpec() JobSpec {
+	return JobSpec{App: AppIsing, N: 16, T: 2.2, Burn: 4, Measure: 2000, Seed: 9}
+}
+
+// ckptFiles lists the *.ckpt snapshots currently in dir.
+func ckptFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".ckpt") {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+// waitSweeps polls until the service has observed at least n solver sweeps
+// for app — i.e. a job is demonstrably mid-run.
+func waitSweeps(t *testing.T, svc *Service, app string, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if svc.Metrics().SweepCount(app) >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("sweep count for %s never reached %d", app, n)
+}
+
+// TestDrainCheckpointRecoverBitExact is the serving layer's end-to-end resume
+// guarantee: run a job to completion for reference, run the identical job on
+// a checkpointing service and hard-drain it mid-solve, then recover the
+// snapshot on a third service and require the resumed job's observables to
+// match the uninterrupted reference exactly.
+func TestDrainCheckpointRecoverBitExact(t *testing.T) {
+	dir := t.TempDir()
+	spec := ckptSpec()
+
+	// Reference leg: uninterrupted.
+	ref := New(Config{Workers: 1, QueueCap: 4})
+	job, err := ref.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Submit reference: %v", err)
+	}
+	refRes, status, err := job.Wait(context.Background())
+	if status != StatusOK || err != nil {
+		t.Fatalf("reference job: status %v, err %v", status, err)
+	}
+	shutdownOrFail(t, ref)
+
+	// Interrupted leg: hard-drain while the solve is demonstrably mid-run
+	// (an already-cancelled Shutdown context skips the grace period).
+	svc := New(Config{Workers: 1, QueueCap: 4, CheckpointDir: dir})
+	job, err = svc.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Submit interrupted: %v", err)
+	}
+	waitSweeps(t, svc, AppIsing, 5)
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := svc.Shutdown(expired); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Shutdown = %v, want context.Canceled", err)
+	}
+	if _, status, _ = job.Wait(context.Background()); status != StatusExpired {
+		t.Fatalf("interrupted job status = %v, want StatusExpired", status)
+	}
+	if got := svc.Metrics().CheckpointsWritten.Load(); got != 1 {
+		t.Fatalf("CheckpointsWritten = %d, want 1", got)
+	}
+	if files := ckptFiles(t, dir); len(files) != 1 {
+		t.Fatalf("checkpoint files after drain = %v, want exactly one", files)
+	}
+
+	// Recovery leg: a fresh service re-enqueues the snapshot and the resumed
+	// solve must land on the reference observables bit-for-bit.
+	next := New(Config{Workers: 1, QueueCap: 4, CheckpointDir: dir})
+	jobs, err := next.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("Recover re-enqueued %d jobs, want 1", len(jobs))
+	}
+	if got := next.Metrics().CheckpointsResumed.Load(); got != 1 {
+		t.Fatalf("CheckpointsResumed = %d, want 1", got)
+	}
+	res, status, err := jobs[0].Wait(context.Background())
+	if status != StatusOK || err != nil {
+		t.Fatalf("recovered job: status %v, err %v", status, err)
+	}
+	if !res.Resumed {
+		t.Fatal("recovered job result not flagged Resumed")
+	}
+	total := spec.Burn + spec.Measure
+	if res.ResumedSweep < 1 || res.ResumedSweep >= total {
+		t.Fatalf("ResumedSweep = %d, want in [1,%d)", res.ResumedSweep, total)
+	}
+	if res.Sweeps+res.ResumedSweep != refRes.Sweeps {
+		t.Fatalf("tail sweeps %d + resume point %d != reference sweeps %d",
+			res.Sweeps, res.ResumedSweep, refRes.Sweeps)
+	}
+	for _, k := range []string{"magnetization", "energy"} {
+		if res.Metrics[k] != refRes.Metrics[k] {
+			t.Errorf("resumed %s = %v, reference %v — resume is not bit-exact",
+				k, res.Metrics[k], refRes.Metrics[k])
+		}
+	}
+	// A completed resume leaves nothing behind to resume again.
+	if files := ckptFiles(t, dir); len(files) != 0 {
+		t.Fatalf("checkpoint files after successful resume = %v, want none", files)
+	}
+	if rendered := next.Metrics().Render(next.CacheStats()); !strings.Contains(rendered, "rsu_serve_checkpoints_resumed_total 1") {
+		t.Error("rendered metrics missing rsu_serve_checkpoints_resumed_total")
+	}
+	shutdownOrFail(t, next)
+}
+
+// TestClientCancelWritesNoCheckpoint: only drain-induced cancellations pass
+// the write gate. A client hanging up mid-solve, and a job completing
+// normally, must both leave the checkpoint directory empty.
+func TestClientCancelWritesNoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	svc := New(Config{Workers: 1, QueueCap: 4, CheckpointDir: dir})
+	defer shutdownOrFail(t, svc)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	job, err := svc.Submit(ctx, blockerSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitSweeps(t, svc, AppIsing, 2)
+	cancel()
+	if _, status, _ := job.Wait(context.Background()); status != StatusExpired {
+		t.Fatalf("cancelled job status = %v, want StatusExpired", status)
+	}
+
+	quick, err := svc.Submit(context.Background(), quickSpec())
+	if err != nil {
+		t.Fatalf("Submit quick: %v", err)
+	}
+	if _, status, err := quick.Wait(context.Background()); status != StatusOK || err != nil {
+		t.Fatalf("quick job: status %v, err %v", status, err)
+	}
+
+	if got := svc.Metrics().CheckpointsWritten.Load(); got != 0 {
+		t.Fatalf("CheckpointsWritten = %d, want 0", got)
+	}
+	if files := ckptFiles(t, dir); len(files) != 0 {
+		t.Fatalf("checkpoint files = %v, want none", files)
+	}
+}
+
+// TestRecoverQuarantinesCorrupt: unreadable snapshots are renamed aside and
+// counted, never re-enqueued, and never block Recover.
+func TestRecoverQuarantinesCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.ckpt"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Non-snapshot files are none of Recover's business.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc := New(Config{Workers: 1, QueueCap: 4, CheckpointDir: dir})
+	defer shutdownOrFail(t, svc)
+	jobs, err := svc.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("Recover re-enqueued %d jobs from garbage, want 0", len(jobs))
+	}
+	if got := svc.Metrics().CheckpointsCorrupt.Load(); got != 1 {
+		t.Fatalf("CheckpointsCorrupt = %d, want 1", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bad.ckpt.corrupt")); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if files := ckptFiles(t, dir); len(files) != 0 {
+		t.Fatalf("checkpoint files after quarantine = %v, want none", files)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "notes.txt")); err != nil {
+		t.Fatalf("unrelated file disturbed: %v", err)
+	}
+}
+
+// TestRecoverDisabledAndEmpty: Recover is a no-op without a checkpoint
+// directory and on an empty one.
+func TestRecoverDisabledAndEmpty(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueCap: 4})
+	if jobs, err := svc.Recover(); err != nil || jobs != nil {
+		t.Fatalf("Recover without dir = %v, %v; want nil, nil", jobs, err)
+	}
+	shutdownOrFail(t, svc)
+
+	svc = New(Config{Workers: 1, QueueCap: 4, CheckpointDir: t.TempDir()})
+	if jobs, err := svc.Recover(); err != nil || len(jobs) != 0 {
+		t.Fatalf("Recover on empty dir = %v, %v; want none, nil", jobs, err)
+	}
+	shutdownOrFail(t, svc)
+}

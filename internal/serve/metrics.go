@@ -82,6 +82,14 @@ type Metrics struct {
 	FaultStuckWindows atomic.Uint64
 	FaultDriftTrunc   atomic.Uint64
 
+	// CheckpointsWritten counts drain snapshots persisted to the checkpoint
+	// directory; CheckpointsResumed jobs re-enqueued from recovered
+	// snapshots; CheckpointsCorrupt snapshot files Recover rejected and
+	// quarantined (integrity failure or unusable job spec).
+	CheckpointsWritten atomic.Uint64
+	CheckpointsResumed atomic.Uint64
+	CheckpointsCorrupt atomic.Uint64
+
 	mu        sync.Mutex
 	jobHist   map[string]*histogram // per app: whole-job latency
 	sweepHist map[string]*histogram // per app: per-sweep latency
@@ -140,6 +148,13 @@ func (m *Metrics) ObserveFaults(rep *fault.Report) {
 	if rep.Degraded {
 		m.DegradedJobs.Add(1)
 	}
+}
+
+// SweepCount returns the number of solver sweeps observed for app across all
+// jobs — the readiness signal drain tests poll before interrupting a run.
+func (m *Metrics) SweepCount(app string) uint64 {
+	_, _, count := m.hist(m.sweepHist, app).snapshot()
+	return count
 }
 
 // MeanJobSeconds returns the mean wall-clock duration across every completed
@@ -209,6 +224,9 @@ func (m *Metrics) Render(cache CacheStats) string {
 	counter("rsu_serve_fault_dark_counts_total", "injected SPAD dark-count events", m.FaultDarkCounts.Load())
 	counter("rsu_serve_fault_stuck_windows_total", "sampling windows served by a stuck replica row", m.FaultStuckWindows.Load())
 	counter("rsu_serve_fault_drift_truncations_total", "label draws truncated by concentration drift", m.FaultDriftTrunc.Load())
+	counter("rsu_serve_checkpoints_written_total", "drain checkpoints persisted", m.CheckpointsWritten.Load())
+	counter("rsu_serve_checkpoints_resumed_total", "jobs re-enqueued from recovered checkpoints", m.CheckpointsResumed.Load())
+	counter("rsu_serve_checkpoints_corrupt_total", "checkpoint files quarantined at recovery", m.CheckpointsCorrupt.Load())
 
 	counter("rsu_serve_cache_pair_hits_total", "pairwise-LUT cache hits", cache.PairHits)
 	counter("rsu_serve_cache_pair_misses_total", "pairwise-LUT cache misses", cache.PairMisses)

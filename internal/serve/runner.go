@@ -11,6 +11,7 @@ import (
 	"rsu/internal/apps/ising"
 	"rsu/internal/apps/segment"
 	"rsu/internal/apps/stereo"
+	"rsu/internal/checkpoint"
 	"rsu/internal/core"
 	"rsu/internal/fault"
 	"rsu/internal/img"
@@ -54,6 +55,11 @@ type JobResult struct {
 	// on one boolean: true when the posterior confidence collapsed below
 	// fault.DegradedConfidence under active fault injection.
 	Degraded bool `json:"degraded,omitempty"`
+	// Resumed reports that this job continued from a recovered drain
+	// checkpoint rather than starting fresh; ResumedSweep is the sweep index
+	// the resumed solve picked up at. Sweeps then counts only the tail leg.
+	Resumed      bool `json:"resumed,omitempty"`
+	ResumedSweep int  `json:"resumed_sweep,omitempty"`
 }
 
 // maxInlineMarginals caps the marginal values a result may inline
@@ -173,7 +179,7 @@ func bsdIndex(name string) (int, error) {
 // samplers with the shared conversion-table cache attached, and drive the
 // app's solver under the job context. The context bounds the whole solve
 // (mrf.SolveWithCtx checks it between sweeps).
-func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, metrics *Metrics, solverWorkers int) (*JobResult, error) {
+func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, metrics *Metrics, solverWorkers int, plan *checkpoint.Plan) (*JobResult, error) {
 	s := spec.withDefaults()
 	res := &JobResult{
 		ID: id, App: s.App, Dataset: s.Dataset, Sampler: s.Sampler,
@@ -229,6 +235,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		p.SamplerFactory, p.Workers, p.Ctx, p.OnSweep = factory, workers, ctx, onSweep
 		p.UQ = s.uqOptions()
 		p.Faults = s.faultConfig()
+		p.Checkpoint = plan
 		prob := stereo.BuildProblem(pair, p)
 		key := fmt.Sprintf("stereo/L%d/w%g/c%g", prob.Labels, p.SmoothWeight, p.SmoothCap)
 		p.PairLUT, res.PairLUTHit, err = cache.pairLUT(key, prob)
@@ -254,6 +261,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		p.SamplerFactory, p.Workers, p.Ctx, p.OnSweep = factory, workers, ctx, onSweep
 		p.UQ = s.uqOptions()
 		p.Faults = s.faultConfig()
+		p.Checkpoint = plan
 		prob := flow.BuildProblem(pair, p)
 		key := fmt.Sprintf("flow/r%d/w%g/c%g", pair.Radius, p.SmoothWeight, p.SmoothCap)
 		p.PairLUT, res.PairLUTHit, err = cache.pairLUT(key, prob)
@@ -278,6 +286,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		p.SamplerFactory, p.Workers, p.Ctx, p.OnSweep = factory, workers, ctx, onSweep
 		p.UQ = s.uqOptions()
 		p.Faults = s.faultConfig()
+		p.Checkpoint = plan
 		// The Potts LUT depends only on the segment count and smoothness
 		// weight; dummy means of the right length give the same table.
 		prob := segment.BuildProblem(scene.Image, make([]float64, scene.Segments), p)
@@ -303,6 +312,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		m.N = s.N
 		m.SamplerFactory, m.Workers, m.Ctx, m.OnSweep = factory, workers, ctx, onSweep
 		m.Faults = s.faultConfig()
+		m.Checkpoint = plan
 		prob := m.Problem()
 		key := fmt.Sprintf("ising/J%g/H%g", m.J, m.H)
 		m.PairLUT, res.PairLUTHit, err = cache.pairLUT(key, prob)
@@ -318,6 +328,12 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		reportFaults(res, obs.Faults, metrics)
 	}
 
+	if plan != nil {
+		if snap := plan.Resumed(); snap != nil {
+			res.Resumed = true
+			res.ResumedSweep = snap.State.NextSweep
+		}
+	}
 	res.Sweeps = sweeps
 	if runlog != nil {
 		lines := strings.Split(strings.TrimRight(logBuf.String(), "\n"), "\n")

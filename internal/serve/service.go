@@ -5,9 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
+
+	"rsu/internal/checkpoint"
 )
 
 // ErrQueueFull is returned by Submit when the bounded queue cannot accept
@@ -37,6 +41,12 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps every per-job deadline; 0 means no cap.
 	MaxTimeout time.Duration
+	// CheckpointDir, when non-empty, enables drain checkpointing: a job
+	// cancelled by a hard drain (Shutdown deadline expiry) persists its
+	// solver state to <dir>/<jobID>-<boot>.ckpt, and Recover re-enqueues
+	// every such snapshot after a restart, resuming each solve bit-exactly
+	// where the drain interrupted it. Empty disables checkpointing.
+	CheckpointDir string
 	// Cache sizes the shared-artifact cache.
 	Cache CacheConfig
 }
@@ -64,6 +74,10 @@ type Job struct {
 	result *JobResult
 	status JobStatus
 	err    error
+
+	// ckpt is the pre-built checkpoint plan of a job re-enqueued by Recover;
+	// nil for fresh submissions (the worker builds their plan on demand).
+	ckpt *checkpoint.Plan
 }
 
 // Done is closed when the job reaches a terminal state.
@@ -107,6 +121,11 @@ type Service struct {
 	draining bool
 	nextID   uint64
 
+	// boot uniquifies this process's checkpoint file names: job IDs restart
+	// at 1 on every boot, so a fresh job's snapshot path must never collide
+	// with a not-yet-recovered file from the previous incarnation.
+	boot string
+
 	// hard cancels every job context when a drain deadline expires.
 	hard       context.Context
 	hardCancel context.CancelFunc
@@ -128,6 +147,12 @@ func New(cfg Config) *Service {
 		cache:   NewArtifactCache(cfg.Cache),
 		metrics: NewMetrics(),
 		queue:   make(chan *Job, cfg.QueueCap),
+	}
+	if cfg.CheckpointDir != "" {
+		// Best effort: a missing directory surfaces as a write error on the
+		// first drain snapshot, which the solver joins onto the drain cause.
+		_ = os.MkdirAll(cfg.CheckpointDir, 0o755)
+		s.boot = strconv.FormatUint(uint64(time.Now().UnixNano()), 36)
 	}
 	s.hard, s.hardCancel = context.WithCancel(context.Background())
 	s.wg.Add(cfg.Workers)
@@ -201,11 +226,18 @@ func (s *Service) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 		done:      make(chan struct{}),
 	}
 
+	return s.enqueue(j)
+}
+
+// enqueue assigns the job its ID and places it on the bounded queue, backing
+// out (cancelling the job context and detaching the drain hook) when the
+// service is draining or the queue is full. Shared by Submit and Recover.
+func (s *Service) enqueue(j *Job) (*Job, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		cancel()
-		stop()
+		j.cancel()
+		j.stopAfter()
 		return nil, ErrDraining
 	}
 	s.nextID++
@@ -218,8 +250,8 @@ func (s *Service) Submit(ctx context.Context, spec JobSpec) (*Job, error) {
 		return j, nil
 	default:
 		s.mu.Unlock()
-		cancel()
-		stop()
+		j.cancel()
+		j.stopAfter()
 		s.metrics.Rejected.Add(1)
 		return nil, ErrQueueFull
 	}
@@ -242,7 +274,7 @@ func (s *Service) worker() {
 		}
 		s.metrics.InFlight.Add(1)
 		start := time.Now()
-		res, err := runJob(j.ctx, j.ID, j.Spec, s.cache, s.metrics, s.cfg.SolverWorkers)
+		res, err := runJob(j.ctx, j.ID, j.Spec, s.cache, s.metrics, s.cfg.SolverWorkers, s.checkpointPlan(j))
 		elapsed := time.Since(start)
 		s.metrics.InFlight.Add(-1)
 		s.metrics.ObserveJob(j.Spec.withDefaults().App, elapsed.Seconds())

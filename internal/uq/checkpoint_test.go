@@ -1,0 +1,122 @@
+package uq_test
+
+import (
+	"strings"
+	"testing"
+
+	"rsu/internal/img"
+	"rsu/internal/uq"
+)
+
+func fillLabels(w, h, labels, salt int) *img.Labels {
+	lab := img.NewLabels(w, h)
+	for i := range lab.L {
+		lab.L[i] = (i*7 + salt) % labels
+	}
+	return lab
+}
+
+// TestAccumulatorCheckpointRoundTrip: capture mid-run, restore into a fresh
+// accumulator, finish collecting, and verify counts and marginals match an
+// uninterrupted accumulator exactly.
+func TestAccumulatorCheckpointRoundTrip(t *testing.T) {
+	const w, h, labels = 6, 4, 5
+	opts := uq.Options{BurnIn: 2, Thin: 2}
+	full, err := uq.NewAccumulator(w, h, labels, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := uq.NewAccumulator(w, h, labels, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sweep := 0; sweep < 10; sweep++ {
+		lab := fillLabels(w, h, labels, sweep)
+		full.Collect(sweep, lab)
+		half.Collect(sweep, lab)
+	}
+	st, err := half.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := uq.NewAccumulator(w, h, labels, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	for sweep := 10; sweep < 20; sweep++ {
+		lab := fillLabels(w, h, labels, sweep)
+		full.Collect(sweep, lab)
+		restored.Collect(sweep, lab)
+	}
+	if full.Samples() != restored.Samples() {
+		t.Fatalf("samples %d vs %d", restored.Samples(), full.Samples())
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			a, b := full.Histogram(x, y), restored.Histogram(x, y)
+			for l := range a {
+				if a[l] != b[l] {
+					t.Fatalf("count (%d,%d,%d): %d vs %d", x, y, l, b[l], a[l])
+				}
+			}
+		}
+	}
+	fr, err := full.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := restored.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fr.Marginals {
+		if fr.Marginals[i] != rr.Marginals[i] {
+			t.Fatalf("marginal %d differs", i)
+		}
+	}
+}
+
+func TestAccumulatorRestoreRejections(t *testing.T) {
+	opts := uq.Options{BurnIn: 1, Thin: 1}
+	a, err := uq.NewAccumulator(4, 3, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Collect(1, fillLabels(4, 3, 2, 0))
+	st, err := a.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shape mismatch.
+	b, err := uq.NewAccumulator(5, 3, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreState(st); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	// Options mismatch.
+	c, err := uq.NewAccumulator(4, 3, 2, uq.Options{BurnIn: 3, Thin: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestoreState(st); err == nil {
+		t.Error("options mismatch accepted")
+	}
+	// Truncation and trailing garbage.
+	d, err := uq.NewAccumulator(4, 3, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RestoreState(st[:len(st)-2]); err == nil {
+		t.Error("truncated blob accepted")
+	}
+	if err := d.RestoreState(append(append([]byte(nil), st...), 1)); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing-bytes blob: %v", err)
+	}
+}

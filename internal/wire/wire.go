@@ -1,0 +1,178 @@
+// Package wire is the minimal little-endian binary codec shared by the
+// checkpoint subsystem: the snapshot container format (internal/checkpoint)
+// and the opaque per-component state blobs (internal/fault, internal/uq).
+//
+// The encoder is an append-style builder; the decoder is a sticky-error
+// cursor hardened for adversarial inputs (the snapshot decoder is fuzzed):
+// every read bounds-checks before touching the buffer, length-prefixed
+// fields reject lengths exceeding the remaining input before allocating,
+// and after the first error every subsequent read returns zero values.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// AppendU32 appends v in little-endian order.
+func AppendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+
+// AppendU64 appends v in little-endian order.
+func AppendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// AppendI64 appends v as its two's-complement 64-bit pattern.
+func AppendI64(b []byte, v int64) []byte { return AppendU64(b, uint64(v)) }
+
+// AppendF64 appends v's IEEE-754 bit pattern — exact round-trip for every
+// float including negative zero, subnormals, infinities and NaN payloads.
+func AppendF64(b []byte, v float64) []byte { return AppendU64(b, math.Float64bits(v)) }
+
+// AppendBool appends one byte: 1 for true, 0 for false.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendBytes appends a u64 length prefix followed by the raw bytes.
+func AppendBytes(b, v []byte) []byte {
+	b = AppendU64(b, uint64(len(v)))
+	return append(b, v...)
+}
+
+// AppendString appends s with AppendBytes framing.
+func AppendString(b []byte, s string) []byte { return AppendBytes(b, []byte(s)) }
+
+// Reader is a sticky-error decode cursor over one buffer. After any failed
+// read, Err is set and every later read returns the zero value; callers
+// check Err once at the end of a decode sequence.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a cursor over b. The reader never mutates b but does
+// alias it: Bytes returns sub-slices of the original buffer.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.b) - r.off }
+
+// fail records the first error.
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+// take returns the next n bytes, or nil after recording a truncation error.
+func (r *Reader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Len() < n {
+		r.fail("truncated %s: need %d bytes, have %d", what, n, r.Len())
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	v := r.take(4, "uint32")
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(v)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	v := r.take(8, "uint64")
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+
+// I64 reads a two's-complement int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads an IEEE-754 float64 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads one byte and rejects anything but 0 or 1 — a corrupted flag
+// byte must fail the decode, not silently truthify.
+func (r *Reader) Bool() bool {
+	v := r.take(1, "bool")
+	if v == nil {
+		return false
+	}
+	switch v[0] {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("invalid bool byte %#x", v[0])
+		return false
+	}
+}
+
+// Bytes reads a u64 length prefix and returns that many bytes as a sub-slice
+// of the input. The length is validated against the remaining input before
+// any allocation or slicing, so a fuzzed multi-gigabyte length fails fast.
+func (r *Reader) Bytes() []byte {
+	n := r.U64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Len()) {
+		r.fail("length prefix %d exceeds remaining %d bytes", n, r.Len())
+		return nil
+	}
+	return r.take(int(n), "bytes body")
+}
+
+// String reads Bytes and converts.
+func (r *Reader) String() string { return string(r.Bytes()) }
+
+// Count reads a u64 element count and validates it against the remaining
+// input given a minimum encoded size per element, bounding attacker-chosen
+// allocation sizes to the actual input length.
+func (r *Reader) Count(minElemSize int) int {
+	n := r.U64()
+	if r.err != nil {
+		return 0
+	}
+	if minElemSize < 1 {
+		minElemSize = 1
+	}
+	if n > uint64(r.Len()/minElemSize) {
+		r.fail("element count %d exceeds remaining input (%d bytes, >=%d each)", n, r.Len(), minElemSize)
+		return 0
+	}
+	return int(n)
+}
+
+// Expect consumes n bytes and compares them to want (magic headers).
+func (r *Reader) Expect(want []byte, what string) {
+	got := r.take(len(want), what)
+	if got == nil {
+		return
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			r.fail("bad %s: got %q, want %q", what, got, want)
+			return
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package wire
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendU32(b, 0xdeadbeef)
+	b = AppendU64(b, math.MaxUint64)
+	b = AppendI64(b, -42)
+	b = AppendF64(b, math.Copysign(0, -1))
+	b = AppendF64(b, math.Inf(1))
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+	b = AppendBytes(b, []byte{1, 2, 3})
+	b = AppendBytes(b, nil)
+	b = AppendString(b, "héllo")
+
+	r := NewReader(b)
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Fatalf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != math.MaxUint64 {
+		t.Fatalf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := r.F64(); got != 0 || !math.Signbit(got) {
+		t.Fatalf("F64 = %v, want -0", got)
+	}
+	if got := r.F64(); !math.IsInf(got, 1) {
+		t.Fatalf("F64 = %v, want +Inf", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round-trip failed")
+	}
+	if got := r.Bytes(); string(got) != "\x01\x02\x03" {
+		t.Fatalf("Bytes = %v", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Fatalf("empty Bytes = %v", got)
+	}
+	if got := r.String(); got != "héllo" {
+		t.Fatalf("String = %q", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d trailing bytes", r.Len())
+	}
+}
+
+func TestNaNRoundTrip(t *testing.T) {
+	// NaN payload bits survive exactly (F64 is a bit pattern, not a value).
+	bits := uint64(0x7ff8dead_beefcafe)
+	b := AppendF64(nil, math.Float64frombits(bits))
+	if got := math.Float64bits(NewReader(b).F64()); got != bits {
+		t.Fatalf("NaN bits %#x, want %#x", got, bits)
+	}
+}
+
+func TestReaderSticky(t *testing.T) {
+	r := NewReader([]byte{1, 2}) // too short for any fixed-width field
+	if got := r.U64(); got != 0 {
+		t.Fatalf("short U64 = %d, want 0", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("expected truncation error")
+	}
+	// Every later read keeps failing and returns zero values.
+	if r.U32() != 0 || r.Bool() || r.Bytes() != nil || r.String() != "" {
+		t.Fatal("reads after error must return zero values")
+	}
+}
+
+func TestReaderBadBool(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.Bool()
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "bool") {
+		t.Fatalf("bad bool error = %v", err)
+	}
+}
+
+func TestReaderOversizedBytes(t *testing.T) {
+	// Claimed length far beyond the remaining input must fail without
+	// allocating.
+	b := AppendU64(nil, 1<<40)
+	r := NewReader(b)
+	if got := r.Bytes(); got != nil {
+		t.Fatalf("oversized Bytes = %v", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestReaderCountBounds(t *testing.T) {
+	// Count(minElemSize) rejects counts that could not possibly fit in the
+	// remaining bytes, bounding attacker-controlled allocations.
+	b := AppendU64(nil, 1000)
+	b = append(b, make([]byte, 16)...) // room for at most 2 8-byte elements
+	r := NewReader(b)
+	if got := r.Count(8); got != 0 {
+		t.Fatalf("oversized Count = %d, want 0", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("expected count error")
+	}
+
+	b = AppendU64(nil, 2)
+	b = append(b, make([]byte, 16)...)
+	r = NewReader(b)
+	if got := r.Count(8); got != 2 || r.Err() != nil {
+		t.Fatalf("Count = %d err %v, want 2 <nil>", got, r.Err())
+	}
+}
+
+func TestReaderExpect(t *testing.T) {
+	b := []byte("RSUCKPT\n")
+	r := NewReader(b)
+	r.Expect([]byte("RSUCKPT\n"), "magic")
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	r = NewReader(b)
+	r.Expect([]byte("OTHERMAG"), "magic")
+	if r.Err() == nil {
+		t.Fatal("expected magic mismatch error")
+	}
+	r = NewReader(b[:3])
+	r.Expect([]byte("RSUCKPT\n"), "magic")
+	if r.Err() == nil {
+		t.Fatal("expected truncation error")
+	}
+}
