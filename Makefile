@@ -6,7 +6,7 @@ FUZZTIME ?= 30s
 # Coverage floor for the uncertainty-quantification estimators (DESIGN.md §12).
 UQ_COVER_MIN ?= 85
 
-.PHONY: all build test vet race race-runtime verify fault-sweep checkpoint-smoke fuzz fuzz-smoke check cover bench bench-once perf perf-check profile
+.PHONY: all build test vet race race-runtime verify shard-verify fault-sweep checkpoint-smoke fuzz fuzz-smoke check cover bench bench-once perf perf-check shard-sweep profile
 
 all: check
 
@@ -34,6 +34,12 @@ race-runtime:
 # Fails on any distribution non-conformance or golden drift.
 verify:
 	$(GO) run ./cmd/rsu-verify
+
+# Sharding-equivalence gates only (DESIGN.md §15): 1x1-tiling byte-identity
+# against the serial goldens, the sharded-vs-monolithic chi-square battery,
+# and the sharded checkpoint bit-exact resume.
+shard-verify:
+	$(GO) run ./cmd/rsu-verify -only-shards
 
 # Device-fault injection smoke (DESIGN.md §13): the compressed degradation
 # sweep plus the fault model's determinism suite, both under -race, so CI
@@ -64,13 +70,15 @@ cover:
 	awk -v p="$$pct" -v min="$(UQ_COVER_MIN)" 'BEGIN { exit (p+0 >= min+0 ? 0 : 1) }' || \
 	{ echo "internal/uq coverage $$pct% is below the $(UQ_COVER_MIN)% floor"; exit 1; }
 
-# Native Go fuzzing of the sampling pipeline, the lambda converter, and the
-# checkpoint snapshot decoder (truncation, bit flips, version skew).
-# FUZZTIME sets the budget per target (default 30s above).
+# Native Go fuzzing of the sampling pipeline, the lambda converter, the
+# checkpoint snapshot decoder (truncation, bit flips, version skew), and the
+# shard-plan geometry (exclusive full-grid tile coverage under arbitrary
+# dimensions). FUZZTIME sets the budget per target (default 30s above).
 fuzz:
 	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzUnitSample -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/conformance -run '^$$' -fuzz FuzzLambdaCode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/checkpoint -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/shard -run '^$$' -fuzz FuzzShardGeometry -fuzztime $(FUZZTIME)
 
 # Short-budget fuzz pass for CI — the same recipe, smaller budget.
 fuzz-smoke:
@@ -96,6 +104,12 @@ perf:
 # self-test inject a slowdown (-perf-inject-slowdown 2) to prove the gate trips.
 perf-check:
 	$(GO) run ./cmd/rsu-bench -perf-check BENCH_2.json -perf-report perf-check-report.json $(PERFCHECK_FLAGS)
+
+# Tile-sharding sweep on an out-of-cache grid (16x the micro-suite's stereo
+# scene): monolithic checkerboard baseline vs the sharded solver per
+# geometry. Writes the BENCH_3.json series (DESIGN.md §15).
+shard-sweep:
+	$(GO) run ./cmd/rsu-bench -shard-sweep BENCH_3.json
 
 # CPU + heap profiles of the performance suite (DESIGN.md §11); inspect with
 # `go tool pprof cpu.pprof`.

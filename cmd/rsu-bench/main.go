@@ -10,6 +10,7 @@
 //	rsu-bench -run fig8 -iterscale 0.25   # quick pass
 //	rsu-bench -perf BENCH_1.json          # before/after performance report
 //	rsu-bench -perf-check BENCH_1.json    # regression gate vs the baseline
+//	rsu-bench -shard-sweep BENCH_3.json   # tile-sharding sweep on an out-of-cache grid
 package main
 
 import (
@@ -94,6 +95,33 @@ func runPerf(path string, workers int) error {
 	return nil
 }
 
+// runShardSweep executes the tile-sharding sweep (benchkit.ShardSweep) and
+// writes the machine-readable report — the BENCH_3.json series that tracks
+// the sharded solver against the monolithic baseline on a grid 16x the
+// micro-suite's. The sharded arms run one goroutine per tile, so GOMAXPROCS
+// is raised to at least 4 for parity with the perf suite.
+func runShardSweep(path string, workers int) error {
+	probe, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	_ = probe.Close()
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	rep := benchkit.ShardSweep(workers)
+	fmt.Print(rep.String())
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
 // runPerfCheck re-runs the micro-benchmark suite and gates it against the
 // baseline report: the current speedups must stay within the tolerance band
 // of the baseline's (see benchkit.Compare for why speedups, not raw ns/op,
@@ -157,6 +185,7 @@ func realMain() int {
 		perfRep    = flag.String("perf-report", "", "with -perf-check: write the gate report JSON to this path")
 		perfTol    = flag.Float64("perf-tolerance", 0, "with -perf-check: relative speedup tolerance (0 = default 15%)")
 		perfInj    = flag.Float64("perf-inject-slowdown", 1, "with -perf-check: self-test knob slowing the current after-side by this factor")
+		shardSweep = flag.String("shard-sweep", "", "run the tile-sharding sweep and write the JSON report to this path")
 		workers    = flag.Int("workers", 0, "design-point/solver workers: 0 = GOMAXPROCS, 1 = serial")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -181,6 +210,14 @@ func realMain() int {
 	if *perf != "" {
 		if err := runPerf(*perf, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "perf suite failed: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *shardSweep != "" {
+		if err := runShardSweep(*shardSweep, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "shard sweep failed: %v\n", err)
 			return 1
 		}
 		return 0

@@ -39,11 +39,13 @@ func main() {
 		uqf     runopt.UQFlags
 		faultf  runopt.FaultFlags
 		ckptf   runopt.CheckpointFlags
+		shardf  runopt.ShardFlags
 	)
 	ropt.Register(flag.CommandLine)
 	uqf.Register(flag.CommandLine)
 	faultf.Register(flag.CommandLine)
 	ckptf.Register(flag.CommandLine)
+	shardf.Register(flag.CommandLine)
 	flag.Parse()
 
 	p := segment.DefaultParams()
@@ -65,6 +67,9 @@ func main() {
 	}
 	p.SamplerFactory = core.StreamFactory(*seed, build)
 	p.Workers = *workers
+	if p.Shards, err = shardf.Geometry(); err != nil {
+		log.Fatal(err)
+	}
 
 	rt, err := ropt.Start()
 	if err != nil {

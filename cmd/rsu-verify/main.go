@@ -11,6 +11,9 @@
 //	rsu-verify -skip-battery         # skip the per-draw distribution battery
 //	rsu-verify -skip-marginals       # skip the posterior-marginal battery
 //	rsu-verify -skip-checkpoint      # skip the checkpoint/resume gate
+//	rsu-verify -skip-shards          # skip the sharding-equivalence gates
+//	rsu-verify -only-shards          # run only the sharding-equivalence gates
+//	rsu-verify -shard-replicates 800 # higher-power sharding chi-square battery
 //
 // Exit status is non-zero when any battery check fails its
 // Bonferroni-corrected threshold or any golden trace drifts.
@@ -35,9 +38,15 @@ func main() {
 		replicates  = flag.Int("replicates", 2000, "marginal-battery replicate chains per (grid, point, solver)")
 		skipMarg    = flag.Bool("skip-marginals", false, "skip the posterior-marginal battery")
 		skipCkpt    = flag.Bool("skip-checkpoint", false, "skip the checkpoint/resume bit-exactness gate")
+		skipShards  = flag.Bool("skip-shards", false, "skip the sharding-equivalence gates")
+		onlyShards  = flag.Bool("only-shards", false, "run only the sharding-equivalence gates (make shard-verify)")
+		shardReps   = flag.Int("shard-replicates", 400, "sharding chi-square battery replicate chains per arm")
 		verbose     = flag.Bool("v", false, "print every battery check")
 	)
 	flag.Parse()
+	if *onlyShards {
+		*skipBattery, *skipMarg, *skipCkpt = true, true, true
+	}
 
 	failed := false
 	if !*skipBattery {
@@ -106,25 +115,28 @@ func main() {
 		}
 		fmt.Printf("golden: regenerated %d traces in %s\n", len(conformance.Scenarios()), *goldenDir)
 	}
-	errs := conformance.VerifyGolden(*goldenDir)
-	for _, err := range errs {
-		failed = true
-		fmt.Fprintln(os.Stderr, "rsu-verify:", err)
-	}
-	if len(errs) == 0 {
-		fmt.Printf("golden: %d traces match\n", len(conformance.Scenarios()))
-	}
+	var errs []error
+	if !*onlyShards {
+		errs = conformance.VerifyGolden(*goldenDir)
+		for _, err := range errs {
+			failed = true
+			fmt.Fprintln(os.Stderr, "rsu-verify:", err)
+		}
+		if len(errs) == 0 {
+			fmt.Printf("golden: %d traces match\n", len(conformance.Scenarios()))
+		}
 
-	// The zero-fault invariant: re-run every golden scenario with a
-	// zero-rate device-fault injection attached; the traces must not move
-	// by a byte (see conformance.VerifyGoldenZeroFault).
-	errs = conformance.VerifyGoldenZeroFault(*goldenDir)
-	for _, err := range errs {
-		failed = true
-		fmt.Fprintln(os.Stderr, "rsu-verify:", err)
-	}
-	if len(errs) == 0 {
-		fmt.Printf("golden (zero-fault injection): %d traces match\n", len(conformance.Scenarios()))
+		// The zero-fault invariant: re-run every golden scenario with a
+		// zero-rate device-fault injection attached; the traces must not move
+		// by a byte (see conformance.VerifyGoldenZeroFault).
+		errs = conformance.VerifyGoldenZeroFault(*goldenDir)
+		for _, err := range errs {
+			failed = true
+			fmt.Fprintln(os.Stderr, "rsu-verify:", err)
+		}
+		if len(errs) == 0 {
+			fmt.Printf("golden (zero-fault injection): %d traces match\n", len(conformance.Scenarios()))
+		}
 	}
 
 	// The bit-exact resume guarantee: interrupt every golden scenario at the
@@ -139,6 +151,56 @@ func main() {
 		}
 		if len(errs) == 0 {
 			fmt.Printf("golden (checkpoint resume): %d traces match\n", len(conformance.Scenarios()))
+		}
+	}
+
+	// The sharding-equivalence gates (DESIGN.md §15): the degenerate 1x1
+	// tiling must reproduce the serial goldens byte-for-byte; multi-tile
+	// geometries must match the monolithic checkerboard solver in
+	// distribution (per-pixel two-sample chi-square, Bonferroni-corrected);
+	// and a sharded run interrupted mid-schedule must resume bit-exactly
+	// through the version-2 snapshot container.
+	if !*skipShards {
+		errs = conformance.VerifyShardedGolden(*goldenDir)
+		for _, err := range errs {
+			failed = true
+			fmt.Fprintln(os.Stderr, "rsu-verify:", err)
+		}
+		if len(errs) == 0 {
+			fmt.Printf("sharded golden (1x1 == serial): %d traces match\n", len(conformance.Scenarios()))
+		}
+
+		rep, err := conformance.RunShardBattery(conformance.DefaultShardDesigns(), conformance.ShardOptions{
+			Replicates: *shardReps, Alpha: *alpha, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsu-verify:", err)
+			os.Exit(2)
+		}
+		if *verbose {
+			for _, c := range rep.Checks {
+				status := "ok"
+				if c.P < rep.Threshold {
+					status = "FAIL"
+				}
+				fmt.Printf("%-4s %-10s %-14s n=%d  p=%.4g\n", status, c.Design, c.Pixel, c.N, c.P)
+			}
+		}
+		for _, f := range rep.Failures() {
+			failed = true
+			fmt.Fprintf(os.Stderr, "rsu-verify: sharding FAIL %s %s: p = %.3g < %.3g (n=%d per arm)\n",
+				f.Design, f.Pixel, f.P, rep.Threshold, f.N)
+		}
+		fmt.Printf("sharding battery: %d checks, %d replicates per arm, min p = %.4g (threshold %.3g)\n",
+			len(rep.Checks), rep.Replicates, rep.MinP(), rep.Threshold)
+
+		errs = conformance.VerifyShardedCheckpointResume()
+		for _, err := range errs {
+			failed = true
+			fmt.Fprintln(os.Stderr, "rsu-verify:", err)
+		}
+		if len(errs) == 0 {
+			fmt.Println("sharded checkpoint resume: 4 apps splice bit-exactly")
 		}
 	}
 

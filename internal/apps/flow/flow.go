@@ -16,6 +16,7 @@ import (
 	"rsu/internal/img"
 	"rsu/internal/metrics"
 	"rsu/internal/mrf"
+	"rsu/internal/shard"
 	"rsu/internal/synth"
 	"rsu/internal/uq"
 )
@@ -45,6 +46,11 @@ type Params struct {
 	// Workers selects the parallel solver's worker count when
 	// SamplerFactory is set: 0 = GOMAXPROCS, 1 = exact serial behavior.
 	Workers int
+	// Shards, when non-zero, splits the grid into Rows x Cols tiles and runs
+	// the domain-decomposed sharded solver (requires SamplerFactory; one RNG
+	// stream per tile — see mrf.SolveOptions.Shards and DESIGN.md §15). The
+	// pyramid solver ignores it (its per-level grids are small).
+	Shards shard.Geometry
 	// Ctx, when non-nil, bounds the solve: cancellation or deadline expiry
 	// aborts between sweeps with the context's error. nil means no bound.
 	Ctx context.Context
@@ -151,6 +157,7 @@ func Solve(pair *synth.FlowPair, sampler core.LabelSampler, p Params) (*Result, 
 	opts := mrf.SolveOptions{
 		Init:    initialLabels(pair),
 		Workers: p.Workers,
+		Shards:  p.Shards,
 		OnSweep: p.OnSweep,
 	}
 	if p.PairLUT != nil {

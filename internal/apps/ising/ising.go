@@ -18,6 +18,7 @@ import (
 	"rsu/internal/img"
 	"rsu/internal/mrf"
 	"rsu/internal/rng"
+	"rsu/internal/shard"
 	"rsu/internal/wire"
 )
 
@@ -48,6 +49,12 @@ type Model struct {
 	// Workers selects the parallel solver's worker count when
 	// SamplerFactory is set: 0 = GOMAXPROCS, 1 = exact serial behavior.
 	Workers int
+	// Shards, when non-zero, splits the lattice into Rows x Cols tiles and
+	// runs the domain-decomposed sharded solver (requires SamplerFactory; one
+	// RNG stream per tile — see mrf.SolveOptions.Shards and DESIGN.md §15).
+	// Sharded checkerboard sweeps keep the heat-bath stationary distribution:
+	// halos exchange at every color-phase barrier.
+	Shards shard.Geometry
 	// Ctx, when non-nil, bounds Run: cancellation or deadline expiry aborts
 	// between sweeps with the context's error. nil means no bound.
 	Ctx context.Context
@@ -163,6 +170,7 @@ func (m Model) Run(s core.LabelSampler, T float64, burn, measure int, seed uint6
 	opts := mrf.SolveOptions{
 		Init:      init,
 		Workers:   m.Workers,
+		Shards:    m.Shards,
 		OnSweep:   m.OnSweep,
 		Collector: acc,
 	}

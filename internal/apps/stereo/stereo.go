@@ -15,6 +15,7 @@ import (
 	"rsu/internal/img"
 	"rsu/internal/metrics"
 	"rsu/internal/mrf"
+	"rsu/internal/shard"
 	"rsu/internal/synth"
 	"rsu/internal/uq"
 )
@@ -43,6 +44,10 @@ type Params struct {
 	// Workers selects the parallel solver's worker count when
 	// SamplerFactory is set: 0 = GOMAXPROCS, 1 = exact serial behavior.
 	Workers int
+	// Shards, when non-zero, splits the grid into Rows x Cols tiles and runs
+	// the domain-decomposed sharded solver (requires SamplerFactory; one RNG
+	// stream per tile — see mrf.SolveOptions.Shards and DESIGN.md §15).
+	Shards shard.Geometry
 	// Ctx, when non-nil, bounds the solve: cancellation or deadline expiry
 	// aborts between sweeps with the context's error. nil means no bound.
 	Ctx context.Context
@@ -146,7 +151,7 @@ const texturelessVarianceCutoff = 40
 // scores the result against ground truth using the paper's metrics.
 func Solve(pair *synth.StereoPair, sampler core.LabelSampler, p Params) (*Result, error) {
 	prob := BuildProblem(pair, p)
-	opts := mrf.SolveOptions{Workers: p.Workers, OnSweep: p.OnSweep}
+	opts := mrf.SolveOptions{Workers: p.Workers, Shards: p.Shards, OnSweep: p.OnSweep}
 	if p.PairLUT != nil {
 		tab, err := prob.BuildTablesShared(p.PairLUT)
 		if err != nil {

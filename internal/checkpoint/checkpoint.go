@@ -20,6 +20,11 @@
 // reader understands wraps ErrVersion — forward-compat rejection, so an old
 // binary never misparses a new snapshot. Write is atomic (tmp file + fsync +
 // rename), so a crash mid-snapshot never corrupts the previous checkpoint.
+//
+// Version 2 appends the tile-sharded solver's extra state (geometry plus
+// per-tile halo buffers, DESIGN.md §15) after the version-1 payload. Encode
+// still writes unsharded snapshots as version 1, byte-identical to earlier
+// releases, so only runs that actually shard opt into the new format.
 package checkpoint
 
 import (
@@ -30,11 +35,14 @@ import (
 
 	"rsu/internal/core"
 	"rsu/internal/mrf"
+	"rsu/internal/shard"
 	"rsu/internal/wire"
 )
 
-// Version is the current snapshot format version.
-const Version = 1
+// Version is the newest snapshot format version this package reads and
+// writes. Unsharded snapshots are still written as version 1 (their byte
+// format is unchanged); the version-2 trailer exists only for sharded state.
+const Version = 2
 
 // magic identifies a snapshot file. The trailing newline catches ASCII-mode
 // transfer mangling the same way PNG's magic does.
@@ -133,9 +141,27 @@ func Encode(s *Snapshot) []byte {
 		payload = wire.AppendBytes(payload, st.Collector)
 	}
 
+	// Sharded runs carry extra state (tile geometry + halo buffers) in a
+	// version-2 trailer. Unsharded snapshots stay on version 1 so their bytes
+	// are identical to what earlier releases wrote.
+	version := uint32(1)
+	if st.ShardRows != 0 || st.ShardCols != 0 {
+		version = Version
+		payload = wire.AppendBool(payload, true)
+		payload = wire.AppendI64(payload, int64(st.ShardRows))
+		payload = wire.AppendI64(payload, int64(st.ShardCols))
+		payload = wire.AppendU64(payload, uint64(len(st.Halos)))
+		for _, halo := range st.Halos {
+			payload = wire.AppendU64(payload, uint64(len(halo)))
+			for _, l := range halo {
+				payload = wire.AppendU32(payload, uint32(l))
+			}
+		}
+	}
+
 	out := make([]byte, 0, len(magic)+16+len(payload)+4)
 	out = append(out, magic...)
-	out = wire.AppendU32(out, Version)
+	out = wire.AppendU32(out, version)
 	out = wire.AppendU32(out, 0) // reserved flags
 	out = wire.AppendU64(out, uint64(len(payload)))
 	out = append(out, payload...)
@@ -284,6 +310,46 @@ func Decode(b []byte) (*Snapshot, error) {
 	if r.Bool() {
 		st.Collector = append([]byte(nil), r.Bytes()...)
 	}
+
+	if version >= 2 && r.Err() == nil && r.Bool() {
+		st.ShardRows = int(r.I64())
+		st.ShardCols = int(r.I64())
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if st.ShardRows < 1 || st.ShardCols < 1 {
+			return nil, corrupt("shard geometry %dx%d out of range", st.ShardRows, st.ShardCols)
+		}
+		if st.ShardRows*st.ShardCols != st.Workers {
+			return nil, corrupt("shard geometry %dx%d needs %d sampler states, snapshot has %d",
+				st.ShardRows, st.ShardCols, st.ShardRows*st.ShardCols, st.Workers)
+		}
+		plan, err := shard.NewPlan(shard.Geometry{Rows: st.ShardRows, Cols: st.ShardCols}, st.W, st.H)
+		if err != nil {
+			return nil, corrupt("shard geometry: %v", err)
+		}
+		nh := r.Count(8)
+		if r.Err() == nil && nh != len(plan.Tiles) {
+			return nil, corrupt("%d halo buffers for %d tiles", nh, len(plan.Tiles))
+		}
+		st.Halos = make([][]int, nh)
+		for i := range st.Halos {
+			nc := r.Count(4)
+			if r.Err() == nil && nc != plan.Tiles[i].HaloCells() {
+				return nil, corrupt("tile %d halo holds %d cells, geometry says %d", i, nc, plan.Tiles[i].HaloCells())
+			}
+			halo := make([]int, nc)
+			for j := range halo {
+				l := r.U32()
+				if r.Err() == nil && int(l) >= st.Labels {
+					return nil, corrupt("tile %d halo cell %d holds label %d, run has %d labels", i, j, l, st.Labels)
+				}
+				halo[j] = int(l)
+			}
+			st.Halos[i] = halo
+		}
+	}
+
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}

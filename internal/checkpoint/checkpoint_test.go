@@ -11,6 +11,7 @@ import (
 
 	"rsu/internal/core"
 	"rsu/internal/mrf"
+	"rsu/internal/shard"
 	"rsu/internal/wire"
 )
 
@@ -318,5 +319,96 @@ func TestPlanFromPrecedence(t *testing.T) {
 	}
 	if (&Plan{}).Attach(&mrf.SolveOptions{}, snap.Schedule) == nil {
 		t.Fatal("empty plan accepted")
+	}
+}
+
+// shardedSnapshot builds a snapshot of a 2x2-sharded run on a 6x4 grid, with
+// halo buffers sized from the same plan the decoder will rebuild.
+func shardedSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	const w, h, labels = 6, 4, 5
+	plan, err := shard.NewPlan(shard.Geometry{Rows: 2, Cols: 2}, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Snapshot{
+		App:      "stereo",
+		Sampler:  "new",
+		Seed:     2026,
+		Schedule: mrf.Schedule{T0: 8, Alpha: 0.92, Iterations: 24, TFloor: 0.05},
+		State: mrf.SolverState{
+			W: w, H: h, Labels: labels, Workers: len(plan.Tiles),
+			NextSweep: 7, NextT: 4.4170368, Energy: -12.625, EnergyTracked: true,
+			ShardRows: 2, ShardCols: 2,
+		},
+	}
+	st := &s.State
+	st.Grid = make([]int, w*h)
+	for i := range st.Grid {
+		st.Grid[i] = i % labels
+	}
+	st.Samplers = make([]core.SamplerState, len(plan.Tiles))
+	for i := range st.Samplers {
+		st.Samplers[i] = core.SamplerState{RNG: [4]uint64{uint64(i) + 1, 2, 3, 4}}
+	}
+	st.Halos = make([][]int, len(plan.Tiles))
+	for i, tile := range plan.Tiles {
+		halo := make([]int, tile.HaloCells())
+		for j := range halo {
+			halo[j] = (i + j) % labels
+		}
+		st.Halos[i] = halo
+	}
+	return s
+}
+
+func TestEncodeDecodeShardedRoundTrip(t *testing.T) {
+	s := shardedSnapshot(t)
+	data := Encode(s)
+	if got := data[8]; got != Version {
+		t.Fatalf("sharded container version byte = %d, want %d", got, Version)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestUnshardedStaysVersion1(t *testing.T) {
+	// The version-2 trailer is opt-in: snapshots of unsharded runs must keep
+	// the exact byte format earlier releases wrote, version byte included.
+	for _, s := range []*Snapshot{sampleSnapshot(), minimalSnapshot()} {
+		if data := Encode(s); data[8] != 1 {
+			t.Fatalf("unsharded container version byte = %d, want 1", data[8])
+		}
+	}
+}
+
+func TestDecodeShardedRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(s *Snapshot)
+	}{
+		{"geometry/worker mismatch", func(s *Snapshot) { s.State.ShardCols = 3 }},
+		{"halo count mismatch", func(s *Snapshot) { s.State.Halos = s.State.Halos[:3] }},
+		{"halo length mismatch", func(s *Snapshot) { s.State.Halos[1] = s.State.Halos[1][:2] }},
+		{"halo label out of range", func(s *Snapshot) { s.State.Halos[2][0] = s.State.Labels }},
+		{"geometry too fine for grid", func(s *Snapshot) {
+			// 5 tile rows cannot split 4 grid rows; keep workers/samplers in
+			// step so the geometry check is the one that fires.
+			s.State.ShardRows, s.State.ShardCols, s.State.Workers = 5, 1, 5
+			s.State.Samplers = append(s.State.Samplers, core.SamplerState{RNG: [4]uint64{9, 9, 9, 9}})
+			s.State.Halos = append(s.State.Halos, []int{0})
+		}},
+	}
+	for _, tc := range cases {
+		s := shardedSnapshot(t)
+		tc.mutate(s)
+		if _, err := Decode(Encode(s)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", tc.name, err)
+		}
 	}
 }

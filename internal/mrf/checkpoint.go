@@ -64,6 +64,18 @@ type SolverState struct {
 	// EnergyTracked records whether the captured run maintained the
 	// incremental energy (OnSweep was set).
 	EnergyTracked bool
+	// ShardRows, ShardCols record the tile geometry of a sharded run; both
+	// are zero for serial and checkerboard-parallel runs. When set, Workers
+	// equals ShardRows*ShardCols (one sampler per tile) and Halos carries the
+	// per-tile halo buffers.
+	ShardRows, ShardCols int
+	// Halos holds, per tile in tile-index order, the labels of every
+	// extended-rect cell outside the tile's owned rect (edge strips and
+	// corners, extended-rect row-major — shard.TileGrid.HaloSnapshot's
+	// order). The halos after sweep NextSweep-1's final exchange are part of
+	// solver state: sweep NextSweep's first color phase reads them before any
+	// exchange runs. nil for unsharded runs.
+	Halos [][]int
 	// Samplers holds one state per logical worker, in worker order.
 	Samplers []core.SamplerState
 	// Faults holds one opaque fault-model state per logical worker when the
@@ -178,6 +190,25 @@ func applyResume(st *SolverState, sched Schedule, samplers []core.LabelSampler, 
 		}
 	}
 	return nil
+}
+
+// checkResumeShards rejects a snapshot whose shard geometry differs from the
+// resuming run's. The worker-count check in applyResume cannot catch every
+// mismatch on its own (a 2×2-sharded snapshot and a 4-worker parallel run
+// both say Workers = 4, yet their draw sequences differ), so each solver path
+// states its geometry explicitly: (0, 0) for serial/parallel, the tile
+// lattice for the sharded solver.
+func checkResumeShards(st *SolverState, rows, cols int) error {
+	if st.ShardRows == rows && st.ShardCols == cols {
+		return nil
+	}
+	if st.ShardRows == 0 && st.ShardCols == 0 {
+		return fmt.Errorf("mrf: snapshot captured an unsharded run, resuming with %dx%d tiles", rows, cols)
+	}
+	if rows == 0 && cols == 0 {
+		return fmt.Errorf("mrf: snapshot captured a %dx%d-sharded run — resume it with SolveOptions.Shards", st.ShardRows, st.ShardCols)
+	}
+	return fmt.Errorf("mrf: snapshot captured %dx%d tiles, resuming with %dx%d", st.ShardRows, st.ShardCols, rows, cols)
 }
 
 // resumeIter rebuilds the running-product temperature iterator at the

@@ -312,6 +312,44 @@ func (t *Tables) LabelEnergiesRow(dst []float64, lab *img.Labels, y int) {
 	t.LabelEnergiesSeg(dst, lab, y, 0, 1, t.p.W)
 }
 
+// TileView returns a Tables restricted to the sub-rectangle [x0,x1)×[y0,y1)
+// of the problem grid: the singleton rows are copied (re-based so the view's
+// pixel (x, y) is the problem's (x0+x, y0+y)) and the pairwise LUT is shared.
+// The view is a complete, standalone Tables over a (x1-x0)×(y1-y0) problem —
+// the sharded solver builds one per tile's extended rectangle so every fused
+// kernel (LabelEnergiesSeg, FlipDelta, TotalEnergy) runs unchanged on
+// tile-local label buffers. Note the view's own edges are treated as grid
+// edges by those kernels; the sharded solver only ever evaluates pixels whose
+// full 4-neighborhood lies inside the view (owned pixels of an extended
+// rect), where that distinction cannot be observed, except where a view edge
+// coincides with a real grid edge — in which case the edge behavior is
+// exactly the global one.
+func (t *Tables) TileView(x0, y0, x1, y1 int) (*Tables, error) {
+	p := t.p
+	if x0 < 0 || y0 < 0 || x1 > p.W || y1 > p.H || x0 >= x1 || y0 >= y1 {
+		return nil, fmt.Errorf("mrf: tile view [%d,%d)x[%d,%d) invalid for %dx%d grid", x0, x1, y0, y1, p.W, p.H)
+	}
+	w, h := x1-x0, y1-y0
+	L := p.Labels
+	singles := make([]float64, w*h*L)
+	for y := 0; y < h; y++ {
+		src := ((y0+y)*p.W + x0) * L
+		copy(singles[y*w*L:(y+1)*w*L], t.Singles[src:src+w*L])
+	}
+	view := &Problem{
+		W: w, H: h, Labels: L,
+		Singleton:    func(x, y, l int) float64 { return singles[(y*w+x)*L+l] },
+		PairWeight:   p.PairWeight,
+		Dist:         p.Dist,
+		PairDist:     p.PairDist,
+		TruncateDist: p.TruncateDist,
+	}
+	return &Tables{p: view, Singles: singles, Pair: t.Pair}, nil
+}
+
+// Labels returns the label count of the problem the tables were built from.
+func (t *Tables) Labels() int { return t.p.Labels }
+
 // FlipDelta returns the change in total MRF energy from relabeling pixel
 // (x, y) from `from` to `to`, with every neighbor keeping its current label:
 // the singleton difference plus one pairwise difference per incident edge.

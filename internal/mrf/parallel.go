@@ -274,6 +274,9 @@ func SolveParallelCtx(ctx context.Context, p *Problem, samplers []core.LabelSamp
 	if len(samplers) == 0 {
 		return nil, fmt.Errorf("mrf: need at least one sampler")
 	}
+	if opts.Shards.Tiles() > 1 {
+		return nil, fmt.Errorf("mrf: SolveOptions.Shards %s needs one sampler per tile — use SolveAuto or SolveSharded with a factory", opts.Shards)
+	}
 	for i, s := range samplers {
 		if s == nil {
 			return nil, fmt.Errorf("mrf: nil sampler at index %d", i)
@@ -305,6 +308,9 @@ func SolveParallelCtx(ctx context.Context, p *Problem, samplers []core.LabelSamp
 	first := 0
 	ti := sched.iter()
 	if st := opts.Resume; st != nil {
+		if err := checkResumeShards(st, 0, 0); err != nil {
+			return nil, err
+		}
 		if err := applyResume(st, sched, samplers, opts); err != nil {
 			return nil, err
 		}

@@ -10,6 +10,7 @@ import (
 	"rsu/internal/core"
 	"rsu/internal/fault"
 	"rsu/internal/img"
+	"rsu/internal/shard"
 )
 
 // DefaultTFloor is the temperature floor a Schedule applies when its TFloor
@@ -193,6 +194,26 @@ type SolveOptions struct {
 	// Checkpointing requires every sampler (and the Collector, if any) to be
 	// checkpointable; the first capture reports a violation as an error.
 	OnCheckpoint func(*SolverState) error
+	// Shards selects the tile-sharded solver geometry for the factory entry
+	// points (SolveAuto and the application drivers): the grid is split into
+	// Shards.Rows × Shards.Cols tiles with 1-pixel halos exchanged at every
+	// checkerboard color-phase barrier, each tile drawing from its own RNG
+	// stream (factory(tileIndex)). The zero value — the default — means not
+	// sharded; SolveAuto may still shard automatically for grids of
+	// AutoShardPixels pixels or more. A 1×1 geometry delegates to the serial
+	// solver and is byte-identical to it. Multi-tile output differs from the
+	// monolithic solvers only through RNG stream assignment — the transition
+	// kernel (and so the stationary distribution) is identical, which
+	// rsu-verify's sharding-equivalence battery gates. For a fixed geometry
+	// and seed the result is bit-exactly reproducible at any Executors count.
+	// Workers is ignored when sharding: the tile lattice fixes the
+	// parallelism.
+	Shards shard.Geometry
+	// shardPhaseHook, when non-nil, observes the full gathered labeling after
+	// every color-phase halo exchange of the sharded solver — a test-only
+	// seam the halo-exchange property tests use to compare against the
+	// monolithic checkerboard reference at each barrier.
+	shardPhaseHook func(sweep, color int, lab *img.Labels)
 	// Resume, when non-nil, restores a previously captured snapshot instead
 	// of starting fresh: the grid, every worker's RNG stream and counters,
 	// the schedule position, the incremental energy, and the fault/collector
@@ -375,6 +396,9 @@ func SolveCtx(ctx context.Context, p *Problem, sampler core.LabelSampler, sched 
 	if sampler == nil {
 		return nil, fmt.Errorf("mrf: nil sampler")
 	}
+	if opts.Shards.Tiles() > 1 {
+		return nil, fmt.Errorf("mrf: SolveOptions.Shards %s needs one sampler per tile — use SolveAuto or SolveSharded with a factory", opts.Shards)
+	}
 	lab, tab, err := prepare(p, sched, opts)
 	if err != nil {
 		return nil, err
@@ -385,6 +409,9 @@ func SolveCtx(ctx context.Context, p *Problem, sampler core.LabelSampler, sched 
 	first := 0
 	ti := sched.iter()
 	if st := opts.Resume; st != nil {
+		if err := checkResumeShards(st, 0, 0); err != nil {
+			return nil, err
+		}
 		if err := applyResume(st, sched, samplers, opts); err != nil {
 			return nil, err
 		}
@@ -454,6 +481,26 @@ func SolveAuto(p *Problem, factory func(worker int) core.LabelSampler, sched Sch
 func SolveAutoCtx(ctx context.Context, p *Problem, factory func(worker int) core.LabelSampler, sched Schedule, opts SolveOptions) (*img.Labels, error) {
 	if factory == nil {
 		return nil, fmt.Errorf("mrf: nil sampler factory")
+	}
+	if !opts.Shards.IsZero() {
+		return SolveShardedCtx(ctx, p, factory, sched, opts)
+	}
+	if st := opts.Resume; st != nil && st.ShardRows*st.ShardCols > 1 {
+		// A sharded snapshot fixes the solver mode: resume it sharded with
+		// the captured geometry, whatever Workers says.
+		o := opts
+		o.Shards = shard.Geometry{Rows: st.ShardRows, Cols: st.ShardCols}
+		return SolveShardedCtx(ctx, p, factory, sched, o)
+	}
+	if opts.Workers == 0 && opts.Resume == nil && p.W*p.H >= AutoShardPixels {
+		// Out-of-cache grid with the worker count left to us: shard it. The
+		// geometry is a pure function of the grid shape (shard.Auto), so the
+		// result stays reproducible and resumable.
+		if g := shard.Auto(p.W, p.H); g.Tiles() > 1 {
+			o := opts
+			o.Shards = g
+			return SolveShardedCtx(ctx, p, factory, sched, o)
+		}
 	}
 	workers := ResolveWorkers(opts.Workers)
 	if workers == 1 {

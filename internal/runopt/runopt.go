@@ -18,6 +18,7 @@ import (
 	"rsu/internal/fault"
 	"rsu/internal/img"
 	"rsu/internal/mrf"
+	"rsu/internal/shard"
 	"rsu/internal/uq"
 	"rsu/internal/viz"
 )
@@ -131,6 +132,33 @@ func ReportResume(w io.Writer, pl *checkpoint.Plan) {
 		fmt.Fprintf(w, "resuming %s from sweep %d/%d (%s)\n",
 			s.App, s.State.NextSweep, s.Schedule.Iterations, pl.Path)
 	}
+}
+
+// ShardFlags is the tile-sharding flag shared by the rsu-* solvers: -shards
+// selects the domain-decomposed solver's tile geometry (DESIGN.md §15).
+type ShardFlags struct {
+	// Spec is the "RxC" geometry string; empty leaves sharding to the
+	// solver's auto-dispatch (large grids shard themselves).
+	Spec string
+}
+
+// Register installs the shard flag on fs.
+func (f *ShardFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Spec, "shards", "",
+		"tile the grid RxC (e.g. 2x2) and run the sharded solver; empty = automatic")
+}
+
+// Geometry parses the flag into a shard geometry; the zero geometry (no
+// -shards) keeps the solver's default dispatch.
+func (f *ShardFlags) Geometry() (shard.Geometry, error) {
+	if f.Spec == "" {
+		return shard.Geometry{}, nil
+	}
+	g, err := shard.Parse(f.Spec)
+	if err != nil {
+		return shard.Geometry{}, fmt.Errorf("runopt: -shards: %w", err)
+	}
+	return g, nil
 }
 
 // FaultFlags are the device-fault injection flags shared by the rsu-*

@@ -71,6 +71,10 @@ type Metrics struct {
 	// UQJobs counts jobs that ran with posterior collection enabled.
 	UQJobs atomic.Uint64
 
+	// ShardedJobs counts jobs that ran on the tile-sharded solver (spec
+	// shards set).
+	ShardedJobs atomic.Uint64
+
 	// FaultJobs counts jobs run with device-fault injection active;
 	// DegradedJobs the subset whose posterior confidence collapsed under
 	// injection (fault.Report.Degraded). The per-type counters accumulate
@@ -218,6 +222,7 @@ func (m *Metrics) Render(cache CacheStats) string {
 	gauge("rsu_serve_queue_depth", "jobs waiting in the queue", m.QueueDepth.Load())
 	gauge("rsu_serve_jobs_in_flight", "jobs currently solving", m.InFlight.Load())
 	counter("rsu_serve_uq_jobs_total", "jobs run with posterior collection", m.UQJobs.Load())
+	counter("rsu_serve_sharded_jobs_total", "jobs run with tile sharding", m.ShardedJobs.Load())
 	counter("rsu_serve_fault_jobs_total", "jobs run with device-fault injection", m.FaultJobs.Load())
 	counter("rsu_serve_degraded_jobs_total", "fault-injected jobs flagged degraded by UQ confidence", m.DegradedJobs.Load())
 	counter("rsu_serve_fault_bleed_through_total", "injected bleed-through contamination events", m.FaultBleedThru.Load())

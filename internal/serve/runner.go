@@ -16,6 +16,7 @@ import (
 	"rsu/internal/fault"
 	"rsu/internal/img"
 	"rsu/internal/mrf"
+	"rsu/internal/shard"
 	"rsu/internal/synth"
 	"rsu/internal/uq"
 )
@@ -201,6 +202,13 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 	if workers <= 0 {
 		workers = 1
 	}
+	// Validate() vetted the spec string, so a parse failure here is a bug.
+	var shards shard.Geometry
+	if s.Shards != "" {
+		if shards, err = shard.Parse(s.Shards); err != nil {
+			return nil, fmt.Errorf("serve: shards: %w", err)
+		}
+	}
 
 	ds, dsHit, err := buildDataset(cache, s)
 	if err != nil {
@@ -232,7 +240,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		if s.Iterations > 0 {
 			p.Schedule.Iterations = s.Iterations
 		}
-		p.SamplerFactory, p.Workers, p.Ctx, p.OnSweep = factory, workers, ctx, onSweep
+		p.SamplerFactory, p.Workers, p.Shards, p.Ctx, p.OnSweep = factory, workers, shards, ctx, onSweep
 		p.UQ = s.uqOptions()
 		p.Faults = s.faultConfig()
 		p.Checkpoint = plan
@@ -258,7 +266,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		if s.Iterations > 0 {
 			p.Schedule.Iterations = s.Iterations
 		}
-		p.SamplerFactory, p.Workers, p.Ctx, p.OnSweep = factory, workers, ctx, onSweep
+		p.SamplerFactory, p.Workers, p.Shards, p.Ctx, p.OnSweep = factory, workers, shards, ctx, onSweep
 		p.UQ = s.uqOptions()
 		p.Faults = s.faultConfig()
 		p.Checkpoint = plan
@@ -283,7 +291,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		if s.Iterations > 0 {
 			p.Iterations = s.Iterations
 		}
-		p.SamplerFactory, p.Workers, p.Ctx, p.OnSweep = factory, workers, ctx, onSweep
+		p.SamplerFactory, p.Workers, p.Shards, p.Ctx, p.OnSweep = factory, workers, shards, ctx, onSweep
 		p.UQ = s.uqOptions()
 		p.Faults = s.faultConfig()
 		p.Checkpoint = plan
@@ -310,7 +318,7 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 	case AppIsing:
 		m := ising.DefaultModel()
 		m.N = s.N
-		m.SamplerFactory, m.Workers, m.Ctx, m.OnSweep = factory, workers, ctx, onSweep
+		m.SamplerFactory, m.Workers, m.Shards, m.Ctx, m.OnSweep = factory, workers, shards, ctx, onSweep
 		m.Faults = s.faultConfig()
 		m.Checkpoint = plan
 		prob := m.Problem()
@@ -328,6 +336,9 @@ func runJob(ctx context.Context, id string, spec JobSpec, cache *ArtifactCache, 
 		reportFaults(res, obs.Faults, metrics)
 	}
 
+	if !shards.IsZero() {
+		metrics.ShardedJobs.Add(1)
+	}
 	if plan != nil {
 		if snap := plan.Resumed(); snap != nil {
 			res.Resumed = true

@@ -75,6 +75,9 @@ func TestSpecValidation(t *testing.T) {
 		{"segment count out of range", JobSpec{App: AppSegment, Segments: 1}, false},
 		{"ising lattice too small", JobSpec{App: AppIsing, N: 2}, false},
 		{"negative timeout", JobSpec{App: AppStereo, TimeoutMS: -5}, false},
+		{"sharded ising", JobSpec{App: AppIsing, Shards: "2x2"}, true},
+		{"malformed shards", JobSpec{App: AppStereo, Shards: "2by2"}, false},
+		{"non-positive shards", JobSpec{App: AppStereo, Shards: "0x2"}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -393,4 +396,26 @@ func TestHTTPBackpressure429(t *testing.T) {
 	}
 	cancelBlock()
 	shutdownOrFail(t, svc)
+}
+
+func TestShardedJobRunsAndCounts(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueCap: 4})
+	defer shutdownOrFail(t, svc)
+	job, err := svc.Submit(context.Background(), JobSpec{App: AppIsing, N: 8, Burn: 1, Measure: 2, Shards: "2x2"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res, status, jerr := job.Wait(context.Background())
+	if status != StatusOK || jerr != nil {
+		t.Fatalf("status = %v, err = %v; want StatusOK", status, jerr)
+	}
+	if res.Metrics["magnetization"] < 0 || res.Metrics["magnetization"] > 1 {
+		t.Fatalf("magnetization %v out of [0,1]", res.Metrics["magnetization"])
+	}
+	if got := svc.Metrics().ShardedJobs.Load(); got != 1 {
+		t.Fatalf("ShardedJobs = %d, want 1", got)
+	}
+	if !strings.Contains(svc.Metrics().Render(svc.CacheStats()), "rsu_serve_sharded_jobs_total 1") {
+		t.Fatal("rendered metrics missing rsu_serve_sharded_jobs_total 1")
+	}
 }

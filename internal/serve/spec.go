@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"rsu/internal/fault"
+	"rsu/internal/shard"
 	"rsu/internal/uq"
 )
 
@@ -52,6 +53,10 @@ type JobSpec struct {
 	// service default (Config.SolverWorkers); the service serves many jobs
 	// concurrently, so per-job parallelism defaults low.
 	Workers int `json:"workers,omitempty"`
+	// Shards, when non-empty, is an "RxC" tile geometry (e.g. "2x2"): the job
+	// runs on the domain-decomposed sharded solver with one RNG stream per
+	// tile (DESIGN.md §15). Empty keeps the unsharded solvers.
+	Shards string `json:"shards,omitempty"`
 	// TimeoutMS bounds the job (queue wait + solve) in milliseconds. 0
 	// applies Config.DefaultTimeout; the service clamps to Config.MaxTimeout.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -161,6 +166,11 @@ func (s JobSpec) Validate() error {
 	}
 	if s.Scale > 8 {
 		return fmt.Errorf("serve: scale %d exceeds the serving limit 8", s.Scale)
+	}
+	if s.Shards != "" {
+		if _, err := shard.Parse(s.Shards); err != nil {
+			return fmt.Errorf("serve: shards: %w", err)
+		}
 	}
 	if s.App == AppSegment && s.Segments != 0 && (s.Segments < 2 || s.Segments > 32) {
 		return fmt.Errorf("serve: segments %d out of [2,32]", s.Segments)

@@ -1,0 +1,146 @@
+package shard
+
+import "fmt"
+
+// TileGrid is one tile's label storage: the extended rectangle in row-major
+// order, so index (gy-EY0)*EW + (gx-EX0) holds global pixel (gx, gy). The
+// owned cells are the tile's authoritative labels; the remaining cells are
+// the halo — read-only copies of neighbor tiles' boundary labels, refreshed
+// by PullHalos at every color-phase barrier. Corner halo cells exist in the
+// buffer (keeping the rectangle dense and indexing branch-free) but are never
+// read by a 4-neighborhood of an owned cell and never refreshed; they keep
+// whatever the initial Scatter put there, which is deterministic, so halo
+// snapshots remain byte-reproducible.
+type TileGrid struct {
+	Tile Tile
+	L    []int
+}
+
+// NewTileGrids allocates one zeroed TileGrid per tile of the plan.
+func NewTileGrids(p *Plan) []*TileGrid {
+	grids := make([]*TileGrid, len(p.Tiles))
+	for i, t := range p.Tiles {
+		grids[i] = &TileGrid{Tile: t, L: make([]int, t.EW()*t.EH())}
+	}
+	return grids
+}
+
+// Scatter copies the tile's full extended rectangle (owned cells, halo edges
+// and corners) out of a global row-major w-wide label grid — the transfer
+// that seeds every tile from the initial labeling or a restored snapshot.
+func (g *TileGrid) Scatter(global []int, w int) {
+	t := g.Tile
+	ew := t.EW()
+	for gy := t.EY0; gy < t.EY1; gy++ {
+		ly := gy - t.EY0
+		copy(g.L[ly*ew:ly*ew+ew], global[gy*w+t.EX0:gy*w+t.EX1])
+	}
+}
+
+// GatherInto copies the tile's owned rectangle into a global row-major w-wide
+// label grid. Gathering every tile of a plan reassembles the full labeling:
+// owned rects partition the grid, so each pixel is written exactly once.
+func (g *TileGrid) GatherInto(global []int, w int) {
+	t := g.Tile
+	ew := t.EW()
+	x0 := t.X0 - t.EX0
+	for gy := t.Y0; gy < t.Y1; gy++ {
+		ly := gy - t.EY0
+		copy(global[gy*w+t.X0:gy*w+t.X1], g.L[ly*ew+x0:ly*ew+x0+t.W()])
+	}
+}
+
+// PullHalos refreshes tile idx's four halo edge strips from its lattice
+// neighbors' owned cells. Only the strips adjacent to the owned rect are
+// pulled — x ∈ [X0,X1) for north/south, y ∈ [Y0,Y1) for east/west — because
+// those are exactly the cells a 4-neighborhood of an owned pixel can read;
+// corners stay untouched. The exchange writes only tile idx's own halo and
+// reads only neighbors' owned cells, so concurrent PullHalos calls for
+// different tiles are race-free as long as no tile is computing.
+func PullHalos(p *Plan, grids []*TileGrid, idx int) {
+	g := grids[idx]
+	t := g.Tile
+	ew := t.EW()
+	cols := p.Geom.Cols
+	if t.R > 0 {
+		// North: the halo row gy = Y0-1 is the north neighbor's last owned
+		// row. Same tile column, so the two extended rects share EX0/EW and
+		// the strip is one contiguous copy.
+		nb := grids[idx-cols]
+		gy := t.Y0 - 1
+		src := (gy - nb.Tile.EY0) * nb.Tile.EW()
+		dst := (gy - t.EY0) * ew
+		copy(g.L[dst+t.X0-t.EX0:dst+t.X1-t.EX0], nb.L[src+t.X0-nb.Tile.EX0:src+t.X1-nb.Tile.EX0])
+	}
+	if t.R+1 < p.Geom.Rows {
+		// South: halo row gy = Y1 is the south neighbor's first owned row.
+		nb := grids[idx+cols]
+		gy := t.Y1
+		src := (gy - nb.Tile.EY0) * nb.Tile.EW()
+		dst := (gy - t.EY0) * ew
+		copy(g.L[dst+t.X0-t.EX0:dst+t.X1-t.EX0], nb.L[src+t.X0-nb.Tile.EX0:src+t.X1-nb.Tile.EX0])
+	}
+	if t.C > 0 {
+		// West: halo column gx = X0-1 is the west neighbor's last owned
+		// column; strided, one element per owned row.
+		nb := grids[idx-1]
+		gx := t.X0 - 1
+		nbw, nx := nb.Tile.EW(), gx-nb.Tile.EX0
+		lx := gx - t.EX0
+		for gy := t.Y0; gy < t.Y1; gy++ {
+			g.L[(gy-t.EY0)*ew+lx] = nb.L[(gy-nb.Tile.EY0)*nbw+nx]
+		}
+	}
+	if t.C+1 < cols {
+		// East: halo column gx = X1 is the east neighbor's first owned column.
+		nb := grids[idx+1]
+		gx := t.X1
+		nbw, nx := nb.Tile.EW(), gx-nb.Tile.EX0
+		lx := gx - t.EX0
+		for gy := t.Y0; gy < t.Y1; gy++ {
+			g.L[(gy-t.EY0)*ew+lx] = nb.L[(gy-nb.Tile.EY0)*nbw+nx]
+		}
+	}
+}
+
+// HaloSnapshot returns the labels of every non-owned cell of the extended
+// rectangle (edge strips and corners) in extended-rect row-major order — the
+// per-tile blob a sharded checkpoint persists. Its length is
+// Tile.HaloCells(), and RestoreHalos inverts it.
+func (g *TileGrid) HaloSnapshot() []int {
+	t := g.Tile
+	out := make([]int, 0, t.HaloCells())
+	ew := t.EW()
+	for gy := t.EY0; gy < t.EY1; gy++ {
+		row := (gy - t.EY0) * ew
+		for gx := t.EX0; gx < t.EX1; gx++ {
+			if gx >= t.X0 && gx < t.X1 && gy >= t.Y0 && gy < t.Y1 {
+				continue
+			}
+			out = append(out, g.L[row+gx-t.EX0])
+		}
+	}
+	return out
+}
+
+// RestoreHalos writes a HaloSnapshot back into the non-owned cells, in the
+// same extended-rect row-major order. The length must match exactly.
+func (g *TileGrid) RestoreHalos(halo []int) error {
+	t := g.Tile
+	if len(halo) != t.HaloCells() {
+		return fmt.Errorf("shard: tile %d halo snapshot has %d cells, tile needs %d", t.Index, len(halo), t.HaloCells())
+	}
+	ew := t.EW()
+	i := 0
+	for gy := t.EY0; gy < t.EY1; gy++ {
+		row := (gy - t.EY0) * ew
+		for gx := t.EX0; gx < t.EX1; gx++ {
+			if gx >= t.X0 && gx < t.X1 && gy >= t.Y0 && gy < t.Y1 {
+				continue
+			}
+			g.L[row+gx-t.EX0] = halo[i]
+			i++
+		}
+	}
+	return nil
+}
